@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "gnp", "-n", "120", "-p", "0.05", "-algo", "rand-improved", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"algorithm:", "rand-improved", "valid:", "true", "rounds:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "cliquechain", "-n", "3", "-m", "5", "-algo", "deterministic", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if !out.Valid {
+		t.Error("JSON output should report a valid coloring")
+	}
+	if out.Algorithm != "deterministic" {
+		t.Errorf("algorithm = %q", out.Algorithm)
+	}
+	if out.Nodes != 15 {
+		t.Errorf("nodes = %d, want 15", out.Nodes)
+	}
+	if out.PaletteSize == 0 || out.ColorsUsed == 0 {
+		t.Error("palette / colors should be positive")
+	}
+}
+
+func TestRunAllAlgorithmsViaCLI(t *testing.T) {
+	for _, algo := range []string{"auto", "rand-basic", "polylog", "greedy", "naive", "relaxed"} {
+		var buf bytes.Buffer
+		err := run([]string{"-graph", "gnp", "-n", "80", "-p", "0.06", "-algo", algo, "-seed", "2"}, &buf)
+		if err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunFromEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/g.txt"
+	if err := os.WriteFile(path, []byte("# nodes: 4\n0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-input", path, "-algo", "greedy", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Nodes != 4 || out.Edges != 3 || !out.Valid {
+		t.Errorf("unexpected output: %+v", out)
+	}
+	if err := run([]string{"-input", dir + "/missing.txt"}, &buf); err == nil {
+		t.Error("missing input file should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "nonsense"}, &buf); err == nil {
+		t.Error("unknown generator should error")
+	}
+	if err := run([]string{"-algo", "nonsense", "-graph", "path", "-n", "5"}, &buf); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if err := run([]string{"-bogusflag"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

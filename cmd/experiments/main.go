@@ -1,0 +1,81 @@
+// Command experiments regenerates the experiment tables E1–E9 described in
+// EXPERIMENTS.md, reproducing the quantitative claims of the paper.
+//
+// Example:
+//
+//	experiments                 # run everything at full size
+//	experiments -quick          # small sweeps (seconds)
+//	experiments -only E3,E6     # a subset
+//	experiments -csv out/       # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"d2color/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		quick  = fs.Bool("quick", false, "run reduced sweeps")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		reps   = fs.Int("reps", 0, "repetitions for randomized measurements (0 = default)")
+		only   = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Repetitions: *reps}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range harness.All() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := table.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEdgesAndStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "grid", "-n", "4", "-m", "5", "-edges"}, &buf); err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Error("stats header missing")
+	}
+	// 4x5 grid has 4*4 + 3*5 = 31 edges.
+	edgeLines := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && line != "" {
+			edgeLines++
+		}
+	}
+	if edgeLines != 31 {
+		t.Errorf("edge lines = %d, want 31", edgeLines)
+	}
+}
+
+func TestRunStatsOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "hoffman-singleton"}, &buf); err != nil {
+		t.Fatalf("hoffman-singleton: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Δ=7") {
+		t.Errorf("stats should report Δ=7:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "bogus"}, &buf); err == nil {
+		t.Error("unknown generator should error")
+	}
+	if err := run([]string{"-notaflag"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

@@ -1,0 +1,170 @@
+// Package baseline implements the comparison algorithms used by the
+// experiment harness:
+//
+//   - GreedyD2: the sequential greedy distance-2 coloring, the color-count
+//     floor every distributed algorithm is compared against;
+//   - JohanssonD1: the classical randomized (Δ+1)-coloring of G from the
+//     1980s ([19, 9] in the paper), run on the CONGEST simulator — the
+//     algorithm whose d2 analogue the paper's introduction explains cannot be
+//     implemented directly;
+//   - NaiveD2: the strawman the introduction argues against — run the simple
+//     randomized coloring on G² and pay Θ(Δ) CONGEST rounds on G for every
+//     simulated G² round;
+//   - RelaxedD2: the simple whole-palette random-trial algorithm with
+//     (1+ε)Δ² colors (Section 2.1), which runs directly on G and finishes in
+//     O(log_{1/ε} n) phases but needs more colors than Δ²+1.
+package baseline
+
+import (
+	"fmt"
+
+	"d2color/internal/coloring"
+	"d2color/internal/congest"
+	"d2color/internal/graph"
+	"d2color/internal/trial"
+	"d2color/internal/verify"
+)
+
+// Result is the common shape of a baseline run.
+type Result struct {
+	Coloring    coloring.Coloring
+	PaletteSize int
+	Metrics     congest.Metrics
+	Algorithm   string
+}
+
+// GreedyD2 colors G² sequentially in node order, always choosing the smallest
+// color not used within distance 2. It uses at most Δ(G²)+1 ≤ Δ²+1 colors and
+// zero communication rounds; it is the correctness and color-count reference.
+func GreedyD2(g *graph.Graph) Result {
+	sq := g.Square()
+	c := coloring.New(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		used := make(map[int]bool, sq.Degree(graph.NodeID(v)))
+		for _, u := range sq.Neighbors(graph.NodeID(v)) {
+			if c[u] != coloring.Uncolored {
+				used[c[u]] = true
+			}
+		}
+		col := 0
+		for used[col] {
+			col++
+		}
+		c[v] = col
+	}
+	return Result{
+		Coloring:    c,
+		PaletteSize: sq.MaxDegree() + 1,
+		Algorithm:   "greedy-d2",
+	}
+}
+
+// GreedyD1 colors G sequentially with at most Δ+1 colors.
+func GreedyD1(g *graph.Graph) Result {
+	c := coloring.New(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		used := make(map[int]bool, g.Degree(graph.NodeID(v)))
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if c[u] != coloring.Uncolored {
+				used[c[u]] = true
+			}
+		}
+		col := 0
+		for used[col] {
+			col++
+		}
+		c[v] = col
+	}
+	return Result{Coloring: c, PaletteSize: g.MaxDegree() + 1, Algorithm: "greedy-d1"}
+}
+
+// JohanssonD1 runs the simple randomized (Δ+1)-coloring of G on the CONGEST
+// simulator: in every phase each uncolored node tries a uniformly random
+// color and keeps it if no neighbor uses or simultaneously tries it.
+func JohanssonD1(g *graph.Graph, seed uint64) (Result, error) {
+	palette := g.MaxDegree() + 1
+	res, err := trial.Run(g, trial.Config{
+		PaletteSize:    palette,
+		Scope:          trial.ScopeDistance1,
+		Seed:           seed,
+		AvoidKnownUsed: true,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("johansson: %w", err)
+	}
+	if !res.Complete {
+		return Result{}, fmt.Errorf("johansson: did not complete within %d phases", res.Phases)
+	}
+	return Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: res.Metrics, Algorithm: "johansson-d1"}, nil
+}
+
+// RelaxedD2 runs the simple whole-palette random-trial d2-coloring with
+// ceil((1+epsilon)·Δ²)+1 colors directly on G (Section 2.1's first
+// observation). It is fast but uses more colors than the paper's main
+// algorithms.
+func RelaxedD2(g *graph.Graph, epsilon float64, seed uint64) (Result, error) {
+	if epsilon < 0 {
+		epsilon = 0
+	}
+	delta := g.MaxDegree()
+	palette := int(float64(delta*delta)*(1+epsilon)) + 1
+	res, err := trial.Run(g, trial.Config{
+		PaletteSize: palette,
+		Scope:       trial.ScopeDistance2,
+		Seed:        seed,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("relaxed-d2: %w", err)
+	}
+	if !res.Complete {
+		return Result{}, fmt.Errorf("relaxed-d2: did not complete within %d phases", res.Phases)
+	}
+	return Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: res.Metrics, Algorithm: "relaxed-d2"}, nil
+}
+
+// NaiveD2 implements the strawman from the introduction: run the simple
+// randomized (Δ(G²)+1)-coloring on the square graph and charge Θ(Δ) CONGEST
+// rounds on G for every round simulated on G², because in general a single
+// G² round requires Ω(Δ) rounds on G to relay all messages through
+// intermediate nodes.
+//
+// The returned metrics contain the charged G-rounds (simulated G²-rounds ×
+// Δ); the simulated rounds of the inner run are reported as G²-rounds via the
+// Rounds field of the inner metrics and folded into ChargedRounds here.
+func NaiveD2(g *graph.Graph, seed uint64) (Result, error) {
+	sq := g.Square()
+	palette := sq.MaxDegree() + 1
+	if palette < 1 {
+		palette = 1
+	}
+	res, err := trial.Run(sq, trial.Config{
+		PaletteSize: palette,
+		Scope:       trial.ScopeDistance1, // distance-1 on G² is distance-2 on G
+		Seed:        seed,
+		// The whole point of paying the Δ-factor simulation is that nodes can
+		// track their G²-neighbors' colors, so the simple algorithm picks
+		// among colors it has not seen used.
+		AvoidKnownUsed: true,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("naive-d2: %w", err)
+	}
+	if !res.Complete {
+		return Result{}, fmt.Errorf("naive-d2: did not complete within %d phases", res.Phases)
+	}
+	simulationFactor := g.MaxDegree()
+	if simulationFactor < 1 {
+		simulationFactor = 1
+	}
+	m := congest.Metrics{
+		ChargedRounds: res.Metrics.Rounds * simulationFactor,
+		MessagesSent:  res.Metrics.MessagesSent,
+		WordsSent:     res.Metrics.WordsSent,
+	}
+	// Verify on the original graph as a belt-and-braces check: a proper
+	// coloring of G² is by definition a d2-coloring of G.
+	if rep := verify.CheckD2(g, res.Coloring, palette); !rep.Valid {
+		return Result{}, fmt.Errorf("naive-d2: internal error, produced invalid coloring: %w", rep.Error())
+	}
+	return Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: m, Algorithm: "naive-d2"}, nil
+}

@@ -1,0 +1,48 @@
+package congest
+
+import "fmt"
+
+// Metrics aggregates the cost of a simulation run. Rounds counts simulated
+// synchronous rounds; ChargedRounds counts additional rounds accounted via
+// ChargeRounds for pipelined sub-protocols (see the package comment);
+// TotalRounds is their sum and is the quantity the experiments report.
+type Metrics struct {
+	Rounds               int
+	ChargedRounds        int
+	MessagesSent         int
+	WordsSent            int
+	MaxEdgeWordsPerRound int // maximum words sent over one directed edge in one round
+	BandwidthViolations  int // rounds×edges where the configured limit was exceeded
+	ProtocolViolations   int // sends to non-neighbors or other model violations (messages dropped)
+	HaltedNodes          int
+}
+
+// TotalRounds returns simulated plus charged rounds.
+func (m Metrics) TotalRounds() int { return m.Rounds + m.ChargedRounds }
+
+// Add returns the element-wise sum of two metrics (MaxEdgeWordsPerRound takes
+// the max). Used when an algorithm is composed of several simulator runs on
+// the same graph.
+func (m Metrics) Add(o Metrics) Metrics {
+	out := Metrics{
+		Rounds:              m.Rounds + o.Rounds,
+		ChargedRounds:       m.ChargedRounds + o.ChargedRounds,
+		MessagesSent:        m.MessagesSent + o.MessagesSent,
+		WordsSent:           m.WordsSent + o.WordsSent,
+		BandwidthViolations: m.BandwidthViolations + o.BandwidthViolations,
+		ProtocolViolations:  m.ProtocolViolations + o.ProtocolViolations,
+		HaltedNodes:         o.HaltedNodes,
+	}
+	out.MaxEdgeWordsPerRound = m.MaxEdgeWordsPerRound
+	if o.MaxEdgeWordsPerRound > out.MaxEdgeWordsPerRound {
+		out.MaxEdgeWordsPerRound = o.MaxEdgeWordsPerRound
+	}
+	return out
+}
+
+// String renders the metrics on one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("rounds=%d (+%d charged = %d) msgs=%d words=%d maxEdgeWords=%d bwViol=%d protoViol=%d",
+		m.Rounds, m.ChargedRounds, m.TotalRounds(), m.MessagesSent, m.WordsSent,
+		m.MaxEdgeWordsPerRound, m.BandwidthViolations, m.ProtocolViolations)
+}

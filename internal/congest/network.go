@@ -1,0 +1,395 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"d2color/internal/graph"
+	"d2color/internal/rng"
+)
+
+// Process is the state machine a node runs. The simulator calls Step once per
+// round with the messages delivered this round; the process sends messages
+// for the next round through the Context and returns true once it has halted.
+// A halted process is not stepped again (its neighbors may keep running).
+type Process interface {
+	Step(ctx *Context, round int, inbox []Message) (halted bool)
+}
+
+// ProcessFunc adapts a function to the Process interface, convenient for
+// small test protocols.
+type ProcessFunc func(ctx *Context, round int, inbox []Message) bool
+
+// Step implements Process.
+func (f ProcessFunc) Step(ctx *Context, round int, inbox []Message) bool { return f(ctx, round, inbox) }
+
+// IDAssignment selects how the simulator assigns the O(log n)-bit unique
+// identifiers the model gives to nodes.
+type IDAssignment int
+
+// Identifier assignment strategies.
+const (
+	// IDSequential assigns ID(v) = v. Simplest; adequate for algorithms that
+	// only need distinctness.
+	IDSequential IDAssignment = iota + 1
+	// IDRandomPermutation assigns a random permutation of 1..n, modelling an
+	// adversarially scrambled but compact ID space.
+	IDRandomPermutation
+	// IDSparseRandom assigns distinct random values from a space of size n³,
+	// modelling the general O(log n)-bit ID assumption.
+	IDSparseRandom
+)
+
+// Config controls a simulation.
+type Config struct {
+	// Seed is the root seed for all per-node randomness.
+	Seed uint64
+	// BandwidthWords is the number of O(log n)-bit words a node may send over
+	// one edge in one round. 0 means "account but do not limit". Violations
+	// are recorded in Metrics and the offending messages are still delivered,
+	// so an algorithm bug is observable rather than silently masked.
+	BandwidthWords int
+	// MaxRounds aborts Run with ErrRoundLimit if the protocol has not
+	// terminated. 0 means the package default (defaultMaxRounds).
+	MaxRounds int
+	// Parallel runs node steps on a goroutine pool. Results are identical to
+	// the sequential engine because processes only touch their own state.
+	Parallel bool
+	// Workers bounds the goroutine pool for the parallel engine; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// IDs selects the identifier assignment; zero value means IDSequential.
+	IDs IDAssignment
+}
+
+// defaultMaxRounds is a generous cap that terminates runaway protocols in
+// tests and experiments.
+const defaultMaxRounds = 1_000_000
+
+// Errors returned by the simulator.
+var (
+	ErrRoundLimit  = errors.New("congest: protocol did not terminate within the round limit")
+	ErrNoProcess   = errors.New("congest: node has no process installed")
+	ErrNotNeighbor = errors.New("congest: attempted to send to a non-neighbor")
+)
+
+// Network is one simulation instance: a topology, a process per node, and the
+// accumulated metrics. A Network is not safe for concurrent use by multiple
+// goroutines; the parallel engine synchronizes internally.
+type Network struct {
+	g       *graph.Graph
+	cfg     Config
+	procs   []Process
+	halted  []bool
+	inboxes [][]Message
+	metrics Metrics
+	ids     []uint64
+	rands   []*rng.Source
+	round   int
+}
+
+// NewNetwork creates a simulation over the given topology.
+func NewNetwork(g *graph.Graph, cfg Config) *Network {
+	n := g.NumNodes()
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = defaultMaxRounds
+	}
+	if cfg.IDs == 0 {
+		cfg.IDs = IDSequential
+	}
+	net := &Network{
+		g:       g,
+		cfg:     cfg,
+		procs:   make([]Process, n),
+		halted:  make([]bool, n),
+		inboxes: make([][]Message, n),
+		ids:     make([]uint64, n),
+		rands:   make([]*rng.Source, n),
+	}
+	net.assignIDs()
+	for v := 0; v < n; v++ {
+		net.rands[v] = rng.Split(cfg.Seed, uint64(v))
+	}
+	return net
+}
+
+func (net *Network) assignIDs() {
+	n := net.g.NumNodes()
+	switch net.cfg.IDs {
+	case IDRandomPermutation:
+		src := rng.Split(net.cfg.Seed, 0xC0FFEE)
+		perm := src.Perm(n)
+		for v := 0; v < n; v++ {
+			net.ids[v] = uint64(perm[v]) + 1
+		}
+	case IDSparseRandom:
+		src := rng.Split(net.cfg.Seed, 0xC0FFEE)
+		space := uint64(n) * uint64(n) * uint64(n)
+		if space < 1024 {
+			space = 1024
+		}
+		seen := make(map[uint64]bool, n)
+		for v := 0; v < n; v++ {
+			for {
+				id := src.Uint64() % space
+				if !seen[id] {
+					seen[id] = true
+					net.ids[v] = id
+					break
+				}
+			}
+		}
+	default:
+		for v := 0; v < n; v++ {
+			net.ids[v] = uint64(v)
+		}
+	}
+}
+
+// Graph returns the topology.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// SetProcess installs the process for one node.
+func (net *Network) SetProcess(v graph.NodeID, p Process) { net.procs[v] = p }
+
+// SetProcesses installs a process for every node using the factory.
+func (net *Network) SetProcesses(factory func(v graph.NodeID) Process) {
+	for v := 0; v < net.g.NumNodes(); v++ {
+		net.procs[v] = factory(graph.NodeID(v))
+	}
+}
+
+// Metrics returns the metrics accumulated so far.
+func (net *Network) Metrics() Metrics {
+	m := net.metrics
+	m.HaltedNodes = net.countHalted()
+	return m
+}
+
+// Round returns the number of simulated rounds executed so far.
+func (net *Network) Round() int { return net.round }
+
+// ID returns the model identifier assigned to node v.
+func (net *Network) ID(v graph.NodeID) uint64 { return net.ids[v] }
+
+// ChargeRounds accounts k additional rounds for a pipelined sub-protocol that
+// is not simulated message-by-message. Negative charges are ignored.
+func (net *Network) ChargeRounds(k int) {
+	if k > 0 {
+		net.metrics.ChargedRounds += k
+	}
+}
+
+// AllHalted reports whether every node with a process has halted.
+func (net *Network) AllHalted() bool {
+	for v := range net.procs {
+		if net.procs[v] != nil && !net.halted[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (net *Network) countHalted() int {
+	c := 0
+	for _, h := range net.halted {
+		if h {
+			c++
+		}
+	}
+	return c
+}
+
+// Run executes rounds until every process has halted, returning the number of
+// simulated rounds. It returns ErrRoundLimit if the configured limit is hit
+// and ErrNoProcess if some node has no process installed.
+func (net *Network) Run() (int, error) {
+	for v := range net.procs {
+		if net.procs[v] == nil {
+			return net.round, fmt.Errorf("%w: node %d", ErrNoProcess, v)
+		}
+	}
+	start := net.round
+	for !net.AllHalted() {
+		if net.round-start >= net.cfg.MaxRounds {
+			return net.round, fmt.Errorf("%w (%d rounds)", ErrRoundLimit, net.cfg.MaxRounds)
+		}
+		net.step()
+	}
+	return net.round, nil
+}
+
+// RunRounds executes exactly k rounds (even if all processes have halted,
+// halted processes are simply not stepped).
+func (net *Network) RunRounds(k int) {
+	for i := 0; i < k; i++ {
+		net.step()
+	}
+}
+
+// step executes one synchronous round.
+func (net *Network) step() {
+	n := net.g.NumNodes()
+	contexts := make([]*Context, n)
+	for v := 0; v < n; v++ {
+		if net.procs[v] == nil || net.halted[v] {
+			continue
+		}
+		contexts[v] = &Context{net: net, id: graph.NodeID(v)}
+	}
+
+	if net.cfg.Parallel {
+		net.stepParallel(contexts)
+	} else {
+		for v := 0; v < n; v++ {
+			if contexts[v] == nil {
+				continue
+			}
+			net.halted[v] = net.procs[v].Step(contexts[v], net.round, net.inboxes[v])
+		}
+	}
+
+	net.deliver(contexts)
+	net.round++
+	net.metrics.Rounds = net.round
+}
+
+// stepParallel runs the per-node steps on a bounded pool of goroutines. Each
+// context owns its outbox and RNG stream, so node steps are data-race free;
+// delivery happens after all steps complete, preserving the synchronous
+// semantics and determinism.
+func (net *Network) stepParallel(contexts []*Context) {
+	workers := net.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(contexts)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= n {
+			break
+		}
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				if contexts[v] == nil {
+					continue
+				}
+				net.halted[v] = net.procs[v].Step(contexts[v], net.round, net.inboxes[v])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// deliver collects the outboxes, applies bandwidth accounting and fills the
+// inboxes for the next round. Inboxes are sorted by sender so that the
+// parallel and sequential engines produce identical message orders.
+func (net *Network) deliver(contexts []*Context) {
+	n := net.g.NumNodes()
+	next := make([][]Message, n)
+	type edgeKey struct{ from, to graph.NodeID }
+	edgeWords := make(map[edgeKey]int)
+
+	for v := 0; v < n; v++ {
+		ctx := contexts[v]
+		if ctx == nil {
+			continue
+		}
+		net.metrics.ProtocolViolations += ctx.violations
+		for _, m := range ctx.outbox {
+			next[m.To] = append(next[m.To], m)
+			net.metrics.MessagesSent++
+			w := m.words()
+			net.metrics.WordsSent += w
+			k := edgeKey{from: m.From, to: m.To}
+			edgeWords[k] += w
+		}
+	}
+	for _, w := range edgeWords {
+		if w > net.metrics.MaxEdgeWordsPerRound {
+			net.metrics.MaxEdgeWordsPerRound = w
+		}
+		if net.cfg.BandwidthWords > 0 && w > net.cfg.BandwidthWords {
+			net.metrics.BandwidthViolations++
+		}
+	}
+	for v := 0; v < n; v++ {
+		sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+		net.inboxes[v] = next[v]
+	}
+}
+
+// Context is the interface a process uses to interact with the network during
+// one Step call. It is valid only for the duration of that call.
+type Context struct {
+	net        *Network
+	id         graph.NodeID
+	outbox     []Message
+	violations int
+}
+
+// NodeID returns the dense index of this node (0..n-1).
+func (c *Context) NodeID() graph.NodeID { return c.id }
+
+// UID returns the model's O(log n)-bit unique identifier of this node.
+func (c *Context) UID() uint64 { return c.net.ids[c.id] }
+
+// N returns the number of nodes in the network (globally known, as the model
+// assumes knowledge of n or a polynomial upper bound).
+func (c *Context) N() int { return c.net.g.NumNodes() }
+
+// MaxDegree returns Δ, assumed globally known (Section 2.6 "We assume ∆ is
+// known to the nodes").
+func (c *Context) MaxDegree() int { return c.net.g.MaxDegree() }
+
+// Degree returns this node's degree.
+func (c *Context) Degree() int { return c.net.g.Degree(c.id) }
+
+// Neighbors returns this node's neighbor list (shared slice; do not modify).
+func (c *Context) Neighbors() []graph.NodeID { return c.net.g.Neighbors(c.id) }
+
+// NeighborUID returns the unique identifier of a neighbor. In the CONGEST
+// model a node learns its neighbors' IDs in one round; exposing the lookup
+// here models that without boilerplate in every algorithm.
+func (c *Context) NeighborUID(v graph.NodeID) uint64 { return c.net.ids[v] }
+
+// Rand returns this node's private random stream.
+func (c *Context) Rand() *rng.Source { return c.net.rands[c.id] }
+
+// Send queues a 1-word message to a neighbor for delivery next round. Sends
+// to non-neighbors are dropped and recorded as protocol violations.
+func (c *Context) Send(to graph.NodeID, payload any) error {
+	return c.SendWords(to, payload, 1)
+}
+
+// SendWords queues a message of the given word size to a neighbor.
+func (c *Context) SendWords(to graph.NodeID, payload any, words int) error {
+	if !c.net.g.HasEdge(c.id, to) {
+		c.violations++
+		return fmt.Errorf("%w: %d → %d", ErrNotNeighbor, c.id, to)
+	}
+	c.outbox = append(c.outbox, Message{From: c.id, To: to, Payload: payload, Words: words})
+	return nil
+}
+
+// Broadcast sends the same payload to every neighbor (1 word each).
+func (c *Context) Broadcast(payload any) {
+	for _, v := range c.Neighbors() {
+		// Neighbors are by construction adjacent, so Send cannot fail.
+		_ = c.Send(v, payload)
+	}
+}

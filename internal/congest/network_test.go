@@ -1,0 +1,322 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"d2color/internal/graph"
+)
+
+// broadcastMaxProcess floods the maximum UID seen so far and halts after a
+// fixed number of rounds. It is used to exercise the engine end to end.
+type broadcastMaxProcess struct {
+	best     uint64
+	maxRound int
+}
+
+func (p *broadcastMaxProcess) Step(ctx *Context, round int, inbox []Message) bool {
+	if round == 0 {
+		p.best = ctx.UID()
+	}
+	for _, m := range inbox {
+		if v, ok := m.Payload.(uint64); ok && v > p.best {
+			p.best = v
+		}
+	}
+	if round >= p.maxRound {
+		return true
+	}
+	ctx.Broadcast(p.best)
+	return false
+}
+
+func runBroadcastMax(t *testing.T, g *graph.Graph, cfg Config) []uint64 {
+	t.Helper()
+	net := NewNetwork(g, cfg)
+	procs := make([]*broadcastMaxProcess, g.NumNodes())
+	diam := g.Diameter()
+	if diam < 0 {
+		diam = g.NumNodes()
+	}
+	net.SetProcesses(func(v graph.NodeID) Process {
+		procs[v] = &broadcastMaxProcess{maxRound: diam + 1}
+		return procs[v]
+	})
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := make([]uint64, g.NumNodes())
+	for v := range procs {
+		out[v] = procs[v].best
+	}
+	return out
+}
+
+func TestBroadcastMaxConverges(t *testing.T) {
+	g := graph.Grid(5, 6)
+	best := runBroadcastMax(t, g, Config{Seed: 1, IDs: IDSparseRandom})
+	// Everyone should agree on the global max UID.
+	want := best[0]
+	for v, b := range best {
+		if b != want {
+			t.Fatalf("node %d converged to %d, node 0 to %d", v, b, want)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := graph.GNP(80, 0.08, 3)
+	seq := runBroadcastMax(t, g, Config{Seed: 7, IDs: IDRandomPermutation, Parallel: false})
+	par := runBroadcastMax(t, g, Config{Seed: 7, IDs: IDRandomPermutation, Parallel: true, Workers: 4})
+	for v := range seq {
+		if seq[v] != par[v] {
+			t.Fatalf("node %d: sequential %d vs parallel %d", v, seq[v], par[v])
+		}
+	}
+}
+
+func TestRunErrorsWithoutProcess(t *testing.T) {
+	net := NewNetwork(graph.Path(3), Config{})
+	net.SetProcess(0, ProcessFunc(func(ctx *Context, round int, inbox []Message) bool { return true }))
+	if _, err := net.Run(); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("Run = %v, want ErrNoProcess", err)
+	}
+}
+
+func TestRoundLimit(t *testing.T) {
+	net := NewNetwork(graph.Path(2), Config{MaxRounds: 10})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool { return false })
+	})
+	if _, err := net.Run(); !errors.Is(err, ErrRoundLimit) {
+		t.Errorf("Run = %v, want ErrRoundLimit", err)
+	}
+	if net.Metrics().Rounds != 10 {
+		t.Errorf("rounds = %d, want 10", net.Metrics().Rounds)
+	}
+}
+
+func TestSendToNonNeighborIsViolation(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; 0 and 2 are not adjacent
+	net := NewNetwork(g, Config{})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			if ctx.NodeID() == 0 && round == 0 {
+				if err := ctx.Send(2, "hi"); !errors.Is(err, ErrNotNeighbor) {
+					t.Errorf("Send to non-neighbor = %v, want ErrNotNeighbor", err)
+				}
+			}
+			return round >= 1
+		})
+	})
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if net.Metrics().ProtocolViolations != 1 {
+		t.Errorf("protocol violations = %d, want 1", net.Metrics().ProtocolViolations)
+	}
+	if net.Metrics().MessagesSent != 0 {
+		t.Errorf("violating message should not be delivered, sent=%d", net.Metrics().MessagesSent)
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	g := graph.Path(2)
+	net := NewNetwork(g, Config{BandwidthWords: 2})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			if ctx.NodeID() == 0 && round == 0 {
+				_ = ctx.SendWords(1, "big", 5)
+			}
+			return round >= 1
+		})
+	})
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := net.Metrics()
+	if m.MaxEdgeWordsPerRound != 5 {
+		t.Errorf("MaxEdgeWordsPerRound = %d, want 5", m.MaxEdgeWordsPerRound)
+	}
+	if m.BandwidthViolations != 1 {
+		t.Errorf("BandwidthViolations = %d, want 1", m.BandwidthViolations)
+	}
+	if m.WordsSent != 5 || m.MessagesSent != 1 {
+		t.Errorf("words=%d msgs=%d, want 5,1", m.WordsSent, m.MessagesSent)
+	}
+}
+
+func TestChargeRounds(t *testing.T) {
+	net := NewNetwork(graph.Path(2), Config{})
+	net.ChargeRounds(7)
+	net.ChargeRounds(-3) // ignored
+	m := net.Metrics()
+	if m.ChargedRounds != 7 {
+		t.Errorf("ChargedRounds = %d, want 7", m.ChargedRounds)
+	}
+	if m.TotalRounds() != 7 {
+		t.Errorf("TotalRounds = %d, want 7", m.TotalRounds())
+	}
+}
+
+func TestRunRoundsAndHaltedNodes(t *testing.T) {
+	g := graph.Cycle(4)
+	net := NewNetwork(g, Config{})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			return int(ctx.NodeID())%2 == 0 // even nodes halt immediately
+		})
+	})
+	net.RunRounds(3)
+	if net.Round() != 3 {
+		t.Errorf("Round() = %d, want 3", net.Round())
+	}
+	if got := net.Metrics().HaltedNodes; got != 2 {
+		t.Errorf("halted nodes = %d, want 2", got)
+	}
+	if net.AllHalted() {
+		t.Error("odd nodes never halt; AllHalted should be false")
+	}
+}
+
+func TestIDAssignments(t *testing.T) {
+	g := graph.Complete(20)
+	for _, mode := range []IDAssignment{IDSequential, IDRandomPermutation, IDSparseRandom} {
+		net := NewNetwork(g, Config{Seed: 5, IDs: mode})
+		seen := make(map[uint64]bool)
+		for v := 0; v < g.NumNodes(); v++ {
+			id := net.ID(graph.NodeID(v))
+			if seen[id] {
+				t.Errorf("mode %d: duplicate ID %d", mode, id)
+			}
+			seen[id] = true
+		}
+	}
+	// Sequential is the identity.
+	net := NewNetwork(g, Config{})
+	if net.ID(7) != 7 {
+		t.Errorf("sequential ID(7) = %d, want 7", net.ID(7))
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	g := graph.Star(5)
+	net := NewNetwork(g, Config{Seed: 2})
+	var sawDegree, sawN, sawDelta int
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			if ctx.NodeID() == 0 {
+				sawDegree = ctx.Degree()
+				sawN = ctx.N()
+				sawDelta = ctx.MaxDegree()
+				if len(ctx.Neighbors()) != 4 {
+					t.Errorf("Neighbors() length = %d, want 4", len(ctx.Neighbors()))
+				}
+				if ctx.NeighborUID(1) != net.ID(1) {
+					t.Error("NeighborUID mismatch")
+				}
+				if ctx.Rand() == nil {
+					t.Error("Rand() should not be nil")
+				}
+			}
+			return true
+		})
+	})
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sawDegree != 4 || sawN != 5 || sawDelta != 4 {
+		t.Errorf("accessors: degree=%d n=%d Δ=%d", sawDegree, sawN, sawDelta)
+	}
+}
+
+func TestMessageWordsDefault(t *testing.T) {
+	m := Message{}
+	if m.words() != 1 {
+		t.Errorf("default words = %d, want 1", m.words())
+	}
+	if m.String() == "" {
+		t.Error("Message.String should be non-empty")
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{Rounds: 3, ChargedRounds: 2, MessagesSent: 10, WordsSent: 12, MaxEdgeWordsPerRound: 4}
+	b := Metrics{Rounds: 5, MessagesSent: 1, WordsSent: 1, MaxEdgeWordsPerRound: 7, BandwidthViolations: 1}
+	sum := a.Add(b)
+	if sum.Rounds != 8 || sum.ChargedRounds != 2 || sum.MessagesSent != 11 || sum.WordsSent != 13 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if sum.MaxEdgeWordsPerRound != 7 {
+		t.Errorf("MaxEdgeWordsPerRound = %d, want 7", sum.MaxEdgeWordsPerRound)
+	}
+	if sum.TotalRounds() != 10 {
+		t.Errorf("TotalRounds = %d, want 10", sum.TotalRounds())
+	}
+	if sum.String() == "" {
+		t.Error("Metrics.String should be non-empty")
+	}
+}
+
+// Property: message delivery is exactly "sent in round r, delivered in round
+// r+1", and inboxes are sorted by sender.
+func TestPropertyDeliveryNextRoundSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.Cycle(6)
+		net := NewNetwork(g, Config{Seed: seed})
+		ok := true
+		net.SetProcesses(func(v graph.NodeID) Process {
+			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+				if round == 0 && len(inbox) != 0 {
+					ok = false // nothing can arrive in round 0
+				}
+				if round == 1 {
+					// Every node has two neighbors that each sent one message.
+					if len(inbox) != 2 {
+						ok = false
+					}
+					for i := 1; i < len(inbox); i++ {
+						if inbox[i-1].From > inbox[i].From {
+							ok = false
+						}
+					}
+				}
+				ctx.Broadcast(round)
+				return round >= 1
+			})
+		})
+		if _, err := net.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() Metrics {
+		g := graph.GNP(40, 0.1, 11)
+		net := NewNetwork(g, Config{Seed: 99})
+		net.SetProcesses(func(v graph.NodeID) Process {
+			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+				// Random gossip: send a random value to a random neighbor.
+				if ctx.Degree() > 0 {
+					to := ctx.Neighbors()[ctx.Rand().Intn(ctx.Degree())]
+					_ = ctx.Send(to, ctx.Rand().Uint64())
+				}
+				return round >= 5
+			})
+		})
+		if _, err := net.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return net.Metrics()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two identical runs produced different metrics:\n%v\n%v", a, b)
+	}
+}

@@ -1,0 +1,192 @@
+// Package core is the public-facing façade of the library: a single entry
+// point that runs any of the paper's distance-2 coloring algorithms (or one
+// of the baselines) on a graph and returns a verified coloring together with
+// the CONGEST cost metrics.
+//
+// It mirrors step 0 of Algorithm d2-Color: callers that just want "the
+// paper's algorithm" use AlgorithmAuto, which picks the randomized improved
+// algorithm for high-degree graphs and the deterministic one when
+// Δ² = O(log n).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"d2color/internal/baseline"
+	"d2color/internal/coloring"
+	"d2color/internal/congest"
+	"d2color/internal/detd2"
+	"d2color/internal/graph"
+	"d2color/internal/polylogd2"
+	"d2color/internal/randd2"
+	"d2color/internal/verify"
+)
+
+// Algorithm identifies one of the implemented algorithms.
+type Algorithm string
+
+// The implemented algorithms. The first four are the paper's contributions;
+// the remaining ones are the baselines used by the experiments.
+const (
+	// AlgorithmAuto applies the paper's dispatch rule (step 0 of d2-Color).
+	AlgorithmAuto Algorithm = "auto"
+	// AlgorithmRandomizedImproved is Improved-d2-Color (Theorem 1.1):
+	// Δ²+1 colors in O(log Δ · log n) rounds, w.h.p.
+	AlgorithmRandomizedImproved Algorithm = "rand-improved"
+	// AlgorithmRandomizedBasic is d2-Color with the basic final phase
+	// (Corollary 2.1): Δ²+1 colors in O(log³ n) rounds, w.h.p.
+	AlgorithmRandomizedBasic Algorithm = "rand-basic"
+	// AlgorithmDeterministic is Theorem 1.2: Δ²+1 colors in O(Δ² + log* n)
+	// rounds, deterministically.
+	AlgorithmDeterministic Algorithm = "deterministic"
+	// AlgorithmPolylog is Theorem 1.3: (1+ε)Δ² colors in polylog n rounds,
+	// deterministically.
+	AlgorithmPolylog Algorithm = "polylog"
+	// AlgorithmGreedy is the sequential greedy baseline (no communication).
+	AlgorithmGreedy Algorithm = "greedy"
+	// AlgorithmNaive simulates the trivial algorithm on G² at Θ(Δ) rounds per
+	// simulated round (the strawman of the introduction).
+	AlgorithmNaive Algorithm = "naive"
+	// AlgorithmRelaxed is the whole-palette random-trial algorithm with
+	// (1+ε)Δ² colors (Section 2.1).
+	AlgorithmRelaxed Algorithm = "relaxed"
+)
+
+// Algorithms returns all algorithm identifiers in a stable order.
+func Algorithms() []Algorithm {
+	out := []Algorithm{
+		AlgorithmAuto, AlgorithmRandomizedImproved, AlgorithmRandomizedBasic,
+		AlgorithmDeterministic, AlgorithmPolylog,
+		AlgorithmGreedy, AlgorithmNaive, AlgorithmRelaxed,
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Options configures Solve.
+type Options struct {
+	// Algorithm selects the algorithm; empty means AlgorithmAuto.
+	Algorithm Algorithm
+	// Seed drives all randomness (and ID assignment).
+	Seed uint64
+	// Epsilon is the ε used by AlgorithmPolylog and AlgorithmRelaxed;
+	// 0 means 1.
+	Epsilon float64
+	// RandParams overrides the randomized algorithm's constants (nil means
+	// the scaled defaults).
+	RandParams *randd2.Params
+	// PolylogOptions overrides the Section-3 options (Epsilon is taken from
+	// the field above when this is nil).
+	PolylogOptions *polylogd2.Options
+	// SkipVerify disables the final validity check.
+	SkipVerify bool
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Algorithm is the algorithm that actually ran (Auto is resolved).
+	Algorithm Algorithm
+	// Coloring assigns a color to every node.
+	Coloring coloring.Coloring
+	// PaletteSize is the palette bound the algorithm guarantees
+	// (Δ²+1 for the exact algorithms, (1+ε)Δ² for the relaxed ones).
+	PaletteSize int
+	// ColorsUsed is the number of distinct colors actually used.
+	ColorsUsed int
+	// Metrics is the CONGEST cost of the run.
+	Metrics congest.Metrics
+	// Details carries algorithm-specific observability (may be nil): one of
+	// *randd2.Result, *detd2.Result, *polylogd2.Result or *baseline.Result.
+	Details any
+}
+
+// ErrUnknownAlgorithm is returned for unrecognized algorithm identifiers.
+var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+// Solve runs the selected algorithm on g.
+func Solve(g *graph.Graph, opts Options) (Result, error) {
+	if g == nil {
+		return Result{}, errors.New("core: nil graph")
+	}
+	algo := opts.Algorithm
+	if algo == "" {
+		algo = AlgorithmAuto
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 1
+	}
+	if algo == AlgorithmAuto {
+		// Step 0 of d2-Color: small Δ² is handled deterministically; the
+		// randd2 package applies the same rule internally, so Auto simply
+		// resolves to the improved randomized algorithm.
+		algo = AlgorithmRandomizedImproved
+	}
+
+	var res Result
+	res.Algorithm = algo
+	switch algo {
+	case AlgorithmRandomizedImproved, AlgorithmRandomizedBasic:
+		variant := randd2.VariantImproved
+		if algo == AlgorithmRandomizedBasic {
+			variant = randd2.VariantBasic
+		}
+		r, err := randd2.Run(g, randd2.Options{
+			Variant:    variant,
+			Params:     opts.RandParams,
+			Seed:       opts.Seed,
+			SkipVerify: true, // verified below
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
+		}
+		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+	case AlgorithmDeterministic:
+		r, err := detd2.Run(g, detd2.Options{Seed: opts.Seed, SkipVerify: true})
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
+		}
+		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+	case AlgorithmPolylog:
+		popts := polylogd2.Options{Epsilon: eps, Seed: opts.Seed, SkipVerify: true}
+		if opts.PolylogOptions != nil {
+			popts = *opts.PolylogOptions
+			if popts.Epsilon <= 0 {
+				popts.Epsilon = eps
+			}
+			popts.SkipVerify = true
+		}
+		r, err := polylogd2.ColorG2(g, popts)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
+		}
+		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteBound, r.Metrics, &r
+	case AlgorithmGreedy:
+		r := baseline.GreedyD2(g)
+		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+	case AlgorithmNaive:
+		r, err := baseline.NaiveD2(g, opts.Seed)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
+		}
+		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+	case AlgorithmRelaxed:
+		r, err := baseline.RelaxedD2(g, eps, opts.Seed)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
+		}
+		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+	default:
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, algo)
+	}
+
+	res.ColorsUsed = res.Coloring.NumColorsUsed()
+	if !opts.SkipVerify && g.NumNodes() > 0 {
+		if rep := verify.CheckD2(g, res.Coloring, res.PaletteSize); !rep.Valid {
+			return Result{}, fmt.Errorf("core: %s produced an invalid coloring: %w", algo, rep.Error())
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"d2color/internal/graph"
+	"d2color/internal/verify"
+)
+
+func TestSolveAllAlgorithms(t *testing.T) {
+	g := graph.GNPWithAverageDegree(120, 8, 1)
+	delta := g.MaxDegree()
+	for _, algo := range Algorithms() {
+		res, err := Solve(g, Options{Algorithm: algo, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if rep := verify.CheckD2(g, res.Coloring, res.PaletteSize); !rep.Valid {
+			t.Errorf("%s: %v", algo, rep.Error())
+		}
+		if res.ColorsUsed > res.PaletteSize {
+			t.Errorf("%s: used %d colors with palette %d", algo, res.ColorsUsed, res.PaletteSize)
+		}
+		// The exact algorithms must stay within Δ²+1.
+		switch algo {
+		case AlgorithmAuto, AlgorithmRandomizedImproved, AlgorithmRandomizedBasic,
+			AlgorithmDeterministic, AlgorithmGreedy, AlgorithmNaive:
+			if res.PaletteSize > delta*delta+1 {
+				t.Errorf("%s: palette %d exceeds Δ²+1 = %d", algo, res.PaletteSize, delta*delta+1)
+			}
+		}
+		if res.Details == nil {
+			t.Errorf("%s: missing details", algo)
+		}
+	}
+}
+
+func TestSolveAutoResolves(t *testing.T) {
+	g := graph.Star(12)
+	res, err := Solve(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != AlgorithmRandomizedImproved {
+		t.Errorf("auto resolved to %q", res.Algorithm)
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	if _, err := Solve(graph.Star(4), Options{Algorithm: "bogus"}); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+func TestSolveNilGraph(t *testing.T) {
+	if _, err := Solve(nil, Options{}); err == nil {
+		t.Error("nil graph should error")
+	}
+}
+
+func TestSolveEmptyGraph(t *testing.T) {
+	for _, algo := range []Algorithm{AlgorithmRandomizedImproved, AlgorithmDeterministic, AlgorithmGreedy} {
+		res, err := Solve(graph.NewBuilder(0).Build(), Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Coloring) != 0 {
+			t.Errorf("%s: expected empty coloring", algo)
+		}
+	}
+}
+
+func TestSolveEpsilonDefaults(t *testing.T) {
+	g := graph.CliqueChain(3, 5, 0)
+	res, err := Solve(g, Options{Algorithm: AlgorithmRelaxed, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := g.MaxDegree()
+	if res.PaletteSize != 2*delta*delta+1 {
+		t.Errorf("default epsilon should be 1: palette %d, want %d", res.PaletteSize, 2*delta*delta+1)
+	}
+}
+
+func TestAlgorithmsListStable(t *testing.T) {
+	a, b := Algorithms(), Algorithms()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatal("Algorithms() inconsistent")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("Algorithms() order not stable")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package detd2 implements Theorem 1.2 of the paper: a deterministic CONGEST
+// algorithm that distance-2 colors a graph with Δ²+1 colors in
+// O(Δ² + log* n) rounds.
+//
+// The algorithm is the Appendix-B pipeline (Linial → locally-iterative →
+// color reduction) executed on the conflict graph H = G², with the CONGEST
+// cost model of Appendix B: the first two Linial iterations are pipelined in
+// O(Δ) rounds, each further iteration fits in one message, each
+// locally-iterative phase costs two rounds on G, and the color reduction
+// costs O(Δ) setup plus O(1) rounds per phase. See internal/detcolor for the
+// stage implementations.
+package detd2
+
+import (
+	"fmt"
+
+	"d2color/internal/coloring"
+	"d2color/internal/congest"
+	"d2color/internal/detcolor"
+	"d2color/internal/graph"
+	"d2color/internal/verify"
+)
+
+// Result is the outcome of a deterministic d2-coloring run.
+type Result struct {
+	Coloring    coloring.Coloring
+	PaletteSize int // Δ(G²)+1 ≤ Δ²+1
+	Metrics     congest.Metrics
+	Stages      detcolor.Result // intermediate palettes and per-stage rounds
+}
+
+// Options configures the run.
+type Options struct {
+	// IDs selects how the model's unique identifiers are assigned (they seed
+	// Linial's first iteration). Zero value means sequential IDs.
+	IDs congest.IDAssignment
+	// Seed is used only for the ID assignment when IDs is randomized.
+	Seed uint64
+	// SkipVerify disables the internal validity check (used by benchmarks
+	// that verify separately).
+	SkipVerify bool
+}
+
+// Run executes the deterministic algorithm of Theorem 1.2 on g.
+func Run(g *graph.Graph, opts Options) (Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return Result{Coloring: coloring.New(0), PaletteSize: 1}, nil
+	}
+
+	// The simulator owns ID assignment; Linial consumes the IDs as its
+	// initial coloring. IDSparseRandom produces IDs from a space of size n³,
+	// exactly the O(log n)-bit assumption.
+	net := congest.NewNetwork(g, congest.Config{Seed: opts.Seed, IDs: opts.IDs})
+	ids := make([]int, n)
+	for v := 0; v < n; v++ {
+		ids[v] = int(net.ID(graph.NodeID(v)))
+	}
+
+	sq := g.Square()
+	stages, err := detcolor.Color(sq, ids, detcolor.DefaultCostModelG2(g.MaxDegree()))
+	if err != nil {
+		return Result{}, fmt.Errorf("detd2: %w", err)
+	}
+
+	res := Result{
+		Coloring:    stages.Coloring,
+		PaletteSize: stages.PaletteSize,
+		Metrics:     stages.Metrics,
+		Stages:      stages,
+	}
+	if !opts.SkipVerify {
+		if rep := verify.CheckD2(g, res.Coloring, res.PaletteSize); !rep.Valid {
+			return Result{}, fmt.Errorf("detd2: produced invalid coloring: %w", rep.Error())
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package graph
+
+// BFS performs a breadth-first search from src and returns a slice of
+// distances indexed by node ID; unreachable nodes have distance -1.
+func (g *Graph) BFS(src NodeID) []int {
+	return g.BFSLimited(src, g.n)
+}
+
+// BFSLimited performs a breadth-first search from src, exploring only up to
+// maxDist hops. Nodes further than maxDist (or unreachable) have distance -1.
+func (g *Graph) BFSLimited(src NodeID, maxDist int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if int(src) < 0 || int(src) >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] >= maxDist {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents returns a component label for every node (labels are
+// dense, starting at 0) and the number of components.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue := []NodeID{NodeID(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if comp[v] == -1 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// IsConnected reports whether the graph is connected (the empty graph and the
+// single-node graph are connected).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, k := g.ConnectedComponents()
+	return k == 1
+}
+
+// Eccentricity returns the maximum finite BFS distance from src, or -1 if the
+// graph rooted at src reaches no other node.
+func (g *Graph) Eccentricity(src NodeID) int {
+	dist := g.BFS(src)
+	ecc := -1
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter of the graph (maximum eccentricity over
+// all nodes). It returns -1 for disconnected graphs and 0 for graphs with at
+// most one node. The computation is O(n·m); intended for test/benchmark-sized
+// graphs.
+func (g *Graph) Diameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return -1
+	}
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		if e := g.Eccentricity(NodeID(u)); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// Dist returns the BFS distance between u and v, or -1 if disconnected.
+func (g *Graph) Dist(u, v NodeID) int {
+	return g.BFS(u)[v]
+}

@@ -1,0 +1,258 @@
+// Package graph provides the undirected graph substrate used by every
+// algorithm in this repository: adjacency structures, the square graph G²,
+// workload generators and basic structural queries.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected. Nodes
+// are identified by dense integer indices 0..n-1; the CONGEST simulator
+// assigns O(log n)-bit identifiers separately (see internal/congest).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of a Graph. IDs are dense: 0..NumNodes()-1.
+type NodeID int
+
+// Edge is an undirected edge between two nodes. By convention U < V in
+// normalized form, but Edge values produced by callers are normalized lazily.
+type Edge struct {
+	U, V NodeID
+}
+
+// Normalize returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Graph is an immutable simple undirected graph with dense node IDs.
+// Construct one with a Builder or one of the generators in this package.
+type Graph struct {
+	n        int
+	adj      [][]NodeID
+	numEdges int
+	maxDeg   int
+}
+
+// Errors returned by graph construction and queries.
+var (
+	ErrSelfLoop       = errors.New("graph: self-loop edges are not allowed")
+	ErrNodeOutOfRange = errors.New("graph: node index out of range")
+	ErrDuplicateEdge  = errors.New("graph: duplicate edge")
+)
+
+// Builder incrementally assembles a Graph. The zero value is not usable; use
+// NewBuilder.
+type Builder struct {
+	n     int
+	adj   []map[NodeID]struct{}
+	edges int
+}
+
+// NewBuilder returns a Builder for a graph with n nodes and no edges.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	adj := make([]map[NodeID]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[NodeID]struct{})
+	}
+	return &Builder{n: n, adj: adj}
+}
+
+// NumNodes returns the number of nodes the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge adds the undirected edge {u, v}. It returns an error for self-loops
+// and out-of-range endpoints. Adding an existing edge is a no-op.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
+	}
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrNodeOutOfRange, u, v, b.n)
+	}
+	if _, ok := b.adj[u][v]; ok {
+		return nil
+	}
+	b.adj[u][v] = struct{}{}
+	b.adj[v][u] = struct{}{}
+	b.edges++
+	return nil
+}
+
+// HasEdge reports whether the edge {u, v} has been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		return false
+	}
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+// Build finalizes the builder into an immutable Graph. Neighbor lists are
+// sorted so that iteration order is deterministic.
+func (b *Builder) Build() *Graph {
+	adj := make([][]NodeID, b.n)
+	maxDeg := 0
+	for i := range b.adj {
+		lst := make([]NodeID, 0, len(b.adj[i]))
+		for v := range b.adj[i] {
+			lst = append(lst, v)
+		}
+		sort.Slice(lst, func(a, c int) bool { return lst[a] < lst[c] })
+		adj[i] = lst
+		if len(lst) > maxDeg {
+			maxDeg = len(lst)
+		}
+	}
+	return &Graph{n: b.n, adj: adj, numEdges: b.edges, maxDeg: maxDeg}
+}
+
+// FromEdges builds a graph with n nodes and the given edges. Duplicate edges
+// are collapsed; self-loops and out-of-range endpoints cause an error.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// MustFromEdges is FromEdges that panics on error. It is intended for tests
+// and package-internal fixtures with statically known-good input.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// MaxDegree returns Δ, the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Neighbors returns the neighbor list of u. The returned slice is owned by
+// the graph and must not be modified; copy it if mutation is needed.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// NeighborsCopy returns a fresh copy of the neighbor list of u.
+func (g *Graph) NeighborsCopy(u NodeID) []NodeID {
+	out := make([]NodeID, len(g.adj[u]))
+	copy(out, g.adj[u])
+	return out
+}
+
+// HasEdge reports whether {u, v} is an edge. Runs in O(log deg(u)).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if int(u) < 0 || int(u) >= g.n || int(v) < 0 || int(v) >= g.n {
+		return false
+	}
+	lst := g.adj[u]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
+	return i < len(lst) && lst[i] == v
+}
+
+// Edges returns all edges in normalized (U < V) order, sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, Edge{U: NodeID(u), V: v})
+			}
+		}
+	}
+	return out
+}
+
+// Nodes returns the node IDs 0..n-1.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, g.n)
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]NodeID, g.n)
+	for i := range g.adj {
+		adj[i] = make([]NodeID, len(g.adj[i]))
+		copy(adj[i], g.adj[i])
+	}
+	return &Graph{n: g.n, adj: adj, numEdges: g.numEdges, maxDeg: g.maxDeg}
+}
+
+// InducedSubgraph returns the subgraph induced by keep (nodes with keep[v]
+// true), along with a mapping from new dense IDs to original IDs. Nodes not
+// kept are dropped together with their incident edges.
+func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []NodeID) {
+	if len(keep) != g.n {
+		panic(fmt.Sprintf("graph: keep mask has length %d, want %d", len(keep), g.n))
+	}
+	oldToNew := make([]int, g.n)
+	newToOld := make([]NodeID, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if keep[v] {
+			oldToNew[v] = len(newToOld)
+			newToOld = append(newToOld, NodeID(v))
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	b := NewBuilder(len(newToOld))
+	for u := 0; u < g.n; u++ {
+		if !keep[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v && keep[v] {
+				// Both endpoints kept and statically in range: error impossible.
+				_ = b.AddEdge(NodeID(oldToNew[u]), NodeID(oldToNew[v]))
+			}
+		}
+	}
+	return b.Build(), newToOld
+}
+
+// DegreeHistogram returns a map from degree value to the number of nodes with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < g.n; u++ {
+		h[len(g.adj[u])]++
+	}
+	return h
+}
+
+// AverageDegree returns the average degree 2m/n (0 for the empty graph).
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.numEdges) / float64(g.n)
+}
+
+// String returns a short human-readable summary of the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d, Δ=%d)", g.n, g.numEdges, g.maxDeg)
+}

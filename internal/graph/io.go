@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in the plain edge-list format used by
+// cmd/graphgen: an optional number of '#' comment lines followed by one
+// "u v" pair per line. The node count is emitted as a "# nodes: n" comment so
+// that isolated nodes survive a round trip.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes: %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the edge-list format written by WriteEdgeList (and by
+// cmd/graphgen -edges). Lines starting with '#' are comments; a
+// "# nodes: n" comment fixes the node count, otherwise it is inferred as the
+// largest endpoint + 1. Blank lines are ignored.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var edges []Edge
+	nodes := -1
+	maxID := -1
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# nodes:"); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(rest))
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad node count: %w", lineNo, err)
+				}
+				nodes = n
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{U: NodeID(u), V: NodeID(v)})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read edge list: %w", err)
+	}
+	if nodes < 0 {
+		nodes = maxID + 1
+	}
+	if maxID >= nodes {
+		return nil, fmt.Errorf("graph: edge endpoint %d outside declared node count %d", maxID, nodes)
+	}
+	return FromEdges(nodes, edges)
+}

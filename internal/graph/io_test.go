@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	orig := GNP(40, 0.1, 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != orig.NumNodes() || back.NumEdges() != orig.NumEdges() {
+		t.Fatalf("round trip changed the graph: n %d→%d, m %d→%d",
+			orig.NumNodes(), back.NumNodes(), orig.NumEdges(), back.NumEdges())
+	}
+	for _, e := range orig.Edges() {
+		if !back.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestEdgeListRoundTripPreservesIsolatedNodes(t *testing.T) {
+	b := NewBuilder(6)
+	_ = b.AddEdge(0, 1)
+	orig := b.Build() // nodes 2..5 isolated
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 6 {
+		t.Errorf("isolated nodes lost: n = %d, want 6", back.NumNodes())
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n\n# trailing comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("n=%d m=%d, want 3, 2", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad node count":      "# nodes: many\n0 1\n",
+		"wrong field count":   "0 1 2\n",
+		"non-numeric u":       "x 1\n",
+		"non-numeric v":       "1 y\n",
+		"negative id":         "-1 2\n",
+		"endpoint past count": "# nodes: 2\n0 5\n",
+		"self loop":           "3 3\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestPropertyEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		orig := GNP(25, 0.15, seed)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, orig); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumNodes() != orig.NumNodes() || back.NumEdges() != orig.NumEdges() {
+			return false
+		}
+		for _, e := range orig.Edges() {
+			if !back.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package graph
+
+// Moore-type graphs: degree-Δ graphs of diameter 2 on Δ²+1 vertices. Their
+// squares are complete graphs, so every distance-2 neighbourhood has exactly
+// Δ² nodes and zero sparsity — the densest possible regime for distance-2
+// coloring and the regime in which the paper's Reduce machinery (and its
+// similarity graphs H, Ĥ) is actually load-bearing. Only three non-trivial
+// Moore graphs of diameter 2 exist: the 5-cycle, the Petersen graph (Δ = 3)
+// and the Hoffman–Singleton graph (Δ = 7); the latter two are provided here
+// as worst-case workloads for tests and experiments.
+
+// Petersen returns the Petersen graph: 10 vertices, 3-regular, girth 5,
+// diameter 2. Its square is K₁₀.
+func Petersen() *Graph {
+	b := NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		_ = b.AddEdge(NodeID(i), NodeID((i+1)%5))     // outer 5-cycle
+		_ = b.AddEdge(NodeID(i), NodeID(5+i))         // spokes
+		_ = b.AddEdge(NodeID(5+i), NodeID(5+(i+2)%5)) // inner pentagram
+	}
+	return b.Build()
+}
+
+// HoffmanSingleton returns the Hoffman–Singleton graph: 50 vertices,
+// 7-regular, girth 5, diameter 2. Its square is K₅₀, i.e. every node has
+// exactly Δ² = 49 distance-2 neighbours and sparsity 0.
+//
+// Construction (standard): five pentagons P_h (vertices p_{h,j}, edges
+// j ~ j±1 mod 5) and five pentagrams Q_i (vertices q_{i,j}, edges
+// j ~ j±2 mod 5), plus the join p_{h,j} ~ q_{i, h·i+j mod 5}.
+func HoffmanSingleton() *Graph {
+	b := NewBuilder(50)
+	p := func(h, j int) NodeID { return NodeID(5*h + (j%5+5)%5) }
+	q := func(i, j int) NodeID { return NodeID(25 + 5*i + (j%5+5)%5) }
+	for h := 0; h < 5; h++ {
+		for j := 0; j < 5; j++ {
+			_ = b.AddEdge(p(h, j), p(h, j+1)) // pentagon
+			_ = b.AddEdge(q(h, j), q(h, j+2)) // pentagram
+		}
+	}
+	for h := 0; h < 5; h++ {
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				_ = b.AddEdge(p(h, j), q(i, h*i+j))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,51 @@
+package graph
+
+import "testing"
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	if g.NumNodes() != 10 || g.NumEdges() != 15 {
+		t.Fatalf("Petersen: n=%d m=%d, want 10, 15", g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(NodeID(v)) != 3 {
+			t.Fatalf("Petersen node %d has degree %d, want 3", v, g.Degree(NodeID(v)))
+		}
+	}
+	if d := g.Diameter(); d != 2 {
+		t.Errorf("Petersen diameter = %d, want 2", d)
+	}
+	sq := g.Square()
+	if sq.NumEdges() != 45 {
+		t.Errorf("Petersen squared should be K10 (45 edges), got %d", sq.NumEdges())
+	}
+}
+
+func TestHoffmanSingleton(t *testing.T) {
+	g := HoffmanSingleton()
+	if g.NumNodes() != 50 {
+		t.Fatalf("HS: n=%d, want 50", g.NumNodes())
+	}
+	if g.NumEdges() != 175 {
+		t.Fatalf("HS: m=%d, want 175", g.NumEdges())
+	}
+	for v := 0; v < 50; v++ {
+		if g.Degree(NodeID(v)) != 7 {
+			t.Fatalf("HS node %d has degree %d, want 7", v, g.Degree(NodeID(v)))
+		}
+	}
+	if d := g.Diameter(); d != 2 {
+		t.Errorf("HS diameter = %d, want 2", d)
+	}
+	// Girth 5: no triangles and no 4-cycles means every node's square
+	// neighbourhood is exactly Δ + Δ(Δ-1) = 49, and G² = K50.
+	sq := g.Square()
+	if sq.NumEdges() != 50*49/2 {
+		t.Errorf("HS squared should be K50, got %d edges", sq.NumEdges())
+	}
+	for v := 0; v < 50; v++ {
+		if sq.Degree(NodeID(v)) != 49 {
+			t.Fatalf("HS node %d has %d distance-2 neighbours, want 49", v, sq.Degree(NodeID(v)))
+		}
+	}
+}

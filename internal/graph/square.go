@@ -1,0 +1,110 @@
+package graph
+
+import "sort"
+
+// Square returns G², the graph on the same node set with an edge {u, v}
+// whenever dist_G(u, v) <= 2 and u != v. The maximum degree of G² is at most
+// Δ + Δ(Δ-1) = Δ², where Δ is the maximum degree of G (Section 1.1 of the
+// paper).
+func (g *Graph) Square() *Graph {
+	b := NewBuilder(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				_ = b.AddEdge(NodeID(u), v)
+			}
+			// Two-hop neighbors via v.
+			for _, w := range g.adj[v] {
+				if NodeID(u) < w {
+					_ = b.AddEdge(NodeID(u), w)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Power returns G^k for k >= 1: the graph with an edge between every pair of
+// distinct nodes at distance at most k in G. Power(1) returns a clone.
+func (g *Graph) Power(k int) *Graph {
+	if k <= 1 {
+		return g.Clone()
+	}
+	b := NewBuilder(g.n)
+	for u := 0; u < g.n; u++ {
+		dists := g.BFSLimited(NodeID(u), k)
+		for v, d := range dists {
+			if d >= 1 && d <= k && NodeID(u) < NodeID(v) {
+				_ = b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Dist2Neighbors returns the set of distance-2 neighbors of u (nodes at
+// distance 1 or 2, excluding u itself), i.e. N_{G²}(u), as a sorted slice.
+func (g *Graph) Dist2Neighbors(u NodeID) []NodeID {
+	seen := make(map[NodeID]struct{}, len(g.adj[u])*2)
+	for _, v := range g.adj[u] {
+		seen[v] = struct{}{}
+		for _, w := range g.adj[v] {
+			if w != u {
+				seen[w] = struct{}{}
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// Dist2Degree returns |N_{G²}(u)|, the number of distinct distance-2
+// neighbors of u, without materializing G².
+func (g *Graph) Dist2Degree(u NodeID) int {
+	return len(g.Dist2Neighbors(u))
+}
+
+// CommonDist2Neighbors returns the number of common distance-2 neighbors of u
+// and v, i.e. |N_{G²}(u) ∩ N_{G²}(v)|. This is the similarity measure that
+// defines the graphs H_{1-1/k} in Section 2.3.
+func (g *Graph) CommonDist2Neighbors(u, v NodeID) int {
+	nu := g.Dist2Neighbors(u)
+	set := make(map[NodeID]struct{}, len(nu))
+	for _, x := range nu {
+		set[x] = struct{}{}
+	}
+	count := 0
+	for _, x := range g.Dist2Neighbors(v) {
+		if _, ok := set[x]; ok {
+			count++
+		}
+	}
+	return count
+}
+
+// TwoPaths returns the number of distinct 2-paths u–w–v between u and v in G
+// (not counting a direct edge). Reduce-Phase step 2 drops queries that arrive
+// along a vertex pair with more than one 2-path.
+func (g *Graph) TwoPaths(u, v NodeID) int {
+	if u == v {
+		return 0
+	}
+	count := 0
+	for _, w := range g.adj[u] {
+		if w == v {
+			continue
+		}
+		if g.HasEdge(w, v) {
+			count++
+		}
+	}
+	return count
+}
+
+func sortNodeIDs(s []NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats summarizes the structural properties of a graph that the experiment
+// harness reports next to every measurement.
+type Stats struct {
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	MaxDegree    int     `json:"maxDegree"`
+	MinDegree    int     `json:"minDegree"`
+	AvgDegree    float64 `json:"avgDegree"`
+	MaxDist2Deg  int     `json:"maxDist2Degree"`
+	AvgDist2Deg  float64 `json:"avgDist2Degree"`
+	Components   int     `json:"components"`
+	DegreeStdDev float64 `json:"degreeStdDev"`
+	SquaredBound int     `json:"deltaSquaredBound"` // Δ², the palette bound used by the paper
+}
+
+// ComputeStats computes Stats for g. The distance-2 degree statistics iterate
+// over all nodes, so this is intended for experiment-sized graphs.
+func ComputeStats(g *Graph) Stats {
+	st := Stats{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		MaxDegree: g.MaxDegree(),
+		AvgDegree: g.AverageDegree(),
+	}
+	st.SquaredBound = st.MaxDegree * st.MaxDegree
+	if g.NumNodes() == 0 {
+		return st
+	}
+	st.MinDegree = g.NumNodes()
+	var sum, sumSq float64
+	var d2Sum float64
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(NodeID(u))
+		if d < st.MinDegree {
+			st.MinDegree = d
+		}
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+		d2 := g.Dist2Degree(NodeID(u))
+		d2Sum += float64(d2)
+		if d2 > st.MaxDist2Deg {
+			st.MaxDist2Deg = d2
+		}
+	}
+	n := float64(g.NumNodes())
+	mean := sum / n
+	st.DegreeStdDev = math.Sqrt(maxFloat(0, sumSq/n-mean*mean))
+	st.AvgDist2Deg = d2Sum / n
+	_, st.Components = g.ConnectedComponents()
+	return st
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d Δ=%d δ=%d avg=%.2f Δ(G²)=%d comps=%d",
+		s.Nodes, s.Edges, s.MaxDegree, s.MinDegree, s.AvgDegree, s.MaxDist2Deg, s.Components)
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

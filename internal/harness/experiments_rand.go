@@ -1,0 +1,341 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"d2color/internal/baseline"
+	"d2color/internal/graph"
+	"d2color/internal/randd2"
+	"d2color/internal/sparsity"
+	"d2color/internal/trial"
+)
+
+// log2f returns log₂(x) clamped below at 1 (avoids division by ~0 in ratios).
+func log2f(x int) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(float64(x))
+}
+
+// runRandAveraged runs the randomized algorithm `reps` times with different
+// seeds and returns the average total rounds, average active rounds and the
+// worst-case colors used.
+func runRandAveraged(g *graph.Graph, variant randd2.Variant, cfg Config, reps int) (avgTotal, avgActive float64, maxColors int, sample *randd2.Result, err error) {
+	for i := 0; i < reps; i++ {
+		res, rerr := randd2.Run(g, randd2.Options{Variant: variant, Seed: cfg.Seed + uint64(i)*101})
+		if rerr != nil {
+			return 0, 0, 0, nil, rerr
+		}
+		avgTotal += float64(res.Metrics.TotalRounds())
+		avgActive += float64(res.ActiveRounds)
+		if c := res.Coloring.NumColorsUsed(); c > maxColors {
+			maxColors = c
+		}
+		if i == 0 {
+			r := res
+			sample = &r
+		}
+	}
+	avgTotal /= float64(reps)
+	avgActive /= float64(reps)
+	return avgTotal, avgActive, maxColors, sample, nil
+}
+
+// runE1 measures Theorem 1.1: rounds of the improved randomized algorithm as
+// n grows (fixed average degree) and as Δ grows (fixed n).
+func runE1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "Randomized d2-coloring (improved final phase)",
+		Claim: "Theorem 1.1: Δ²+1 colors, O(log Δ · log n) rounds",
+		Columns: []string{"workload", "n", "Δ", "palette Δ²+1", "colors used",
+			"rounds (sched)", "rounds (active)", "rounds / (log Δ · log n)"},
+	}
+	ns := []int{256, 512, 1024, 2048, 4096}
+	degs := []float64{6, 12, 24, 48}
+	if cfg.Quick {
+		ns = []int{128, 256, 512}
+		degs = []float64{6, 12}
+	}
+	reps := cfg.reps()
+
+	for _, n := range ns {
+		g := graph.GNPWithAverageDegree(n, 12, int64(cfg.Seed)+int64(n))
+		delta := g.MaxDegree()
+		total, active, colors, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, reps)
+		if err != nil {
+			return nil, err
+		}
+		norm := total / (log2f(delta) * log2f(n))
+		t.AddRow("n-sweep (avg deg 12)", itoa(n), itoa(delta), itoa(delta*delta+1), itoa(colors),
+			ftoa(total), ftoa(active), ftoa(norm))
+	}
+	nFixed := 1024
+	if cfg.Quick {
+		nFixed = 384
+	}
+	for _, d := range degs {
+		g := graph.GNPWithAverageDegree(nFixed, d, int64(cfg.Seed)+int64(d*17))
+		delta := g.MaxDegree()
+		total, active, colors, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, reps)
+		if err != nil {
+			return nil, err
+		}
+		norm := total / (log2f(delta) * log2f(nFixed))
+		t.AddRow(fmt.Sprintf("Δ-sweep (n=%d)", nFixed), itoa(nFixed), itoa(delta), itoa(delta*delta+1), itoa(colors),
+			ftoa(total), ftoa(active), ftoa(norm))
+	}
+	t.AddNote("expected shape: the normalized column stays within a small constant band as n and Δ grow")
+	t.AddNote("colors used never exceed Δ²+1 (verified on every run)")
+	return t, nil
+}
+
+// runE2 compares the basic final phase (Corollary 2.1) with the improved one
+// (Theorem 1.1) as n grows.
+func runE2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "Final phase comparison: Reduce(c₂·log n, 1) vs LearnPalette+FinishColoring",
+		Claim: "Corollary 2.1 is O(log³ n); Theorem 1.1 is O(log Δ · log n); the gap widens with n",
+		Columns: []string{"n", "Δ", "basic rounds", "improved rounds", "basic/improved",
+			"basic / log³ n", "improved / (log Δ · log n)"},
+	}
+	ns := []int{256, 512, 1024, 2048}
+	if cfg.Quick {
+		ns = []int{128, 256}
+	}
+	reps := cfg.reps()
+	for _, n := range ns {
+		g := graph.GNPWithAverageDegree(n, 12, int64(cfg.Seed)+int64(n))
+		delta := g.MaxDegree()
+		basicTotal, _, _, _, err := runRandAveraged(g, randd2.VariantBasic, cfg, reps)
+		if err != nil {
+			return nil, err
+		}
+		improvedTotal, _, _, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, reps)
+		if err != nil {
+			return nil, err
+		}
+		logN := log2f(n)
+		t.AddRow(itoa(n), itoa(delta), ftoa(basicTotal), ftoa(improvedTotal),
+			ftoa(basicTotal/math.Max(improvedTotal, 1)),
+			ftoa(basicTotal/(logN*logN*logN)),
+			ftoa(improvedTotal/(log2f(delta)*logN)))
+	}
+	t.AddNote("expected shape: the basic/improved ratio grows with n; both normalized columns stay bounded")
+	return t, nil
+}
+
+// runE7 measures the final-phase machinery of Section 2.6 on dense workloads.
+func runE7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "LearnPalette correction size and FinishColoring phases",
+		Claim: "Lemma 2.15: |Tv| = O(log n); Lemma 2.14: FinishColoring completes in O(log n) phases",
+		Columns: []string{"workload", "n", "Δ", "live at finish", "max live per nbhd",
+			"max |Tv|", "finish phases", "finish phases / log n"},
+	}
+	ns := []int{200, 400, 800, 1600}
+	if cfg.Quick {
+		ns = []int{150, 300}
+	}
+	// With the default number of initial trial phases the final phase often
+	// receives a fully colored graph, which would make this table vacuous.
+	// Shrinking the initial phase budget (C0) and the main-loop span (C1)
+	// leaves live nodes for LearnPalette + FinishColoring to handle, which is
+	// the machinery this experiment measures. The workloads have Δ ≈ √n so
+	// that d2-neighbourhoods are a constant fraction of the palette and the
+	// initial trials genuinely leave stragglers.
+	params := randd2.Default()
+	params.C0 = 0.2
+	params.C1 = 0.05
+	for _, n := range ns {
+		avgDeg := 0.9 * math.Sqrt(float64(n))
+		g := graph.GNPWithAverageDegree(n, avgDeg, int64(cfg.Seed)+int64(n))
+		res, err := randd2.Run(g, randd2.Options{Variant: randd2.VariantImproved, Seed: cfg.Seed, Params: &params})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("gnp(avg deg %.0f)", avgDeg), itoa(n), itoa(g.MaxDegree()),
+			itoa(res.PaletteStats.LiveNodes), itoa(res.PaletteStats.MaxLivePerNbr),
+			itoa(res.PaletteStats.MaxMissing), itoa(res.FinishStats.Phases),
+			ftoa(float64(res.FinishStats.Phases)/log2f(n)))
+	}
+	t.AddNote("the initial-phase budget is reduced (C0=0.2, C1=0.05) so that live nodes actually reach the final phase at simulation scale")
+	t.AddNote("expected shape: FinishColoring phases grow at most logarithmically in n; |Tv| stays far below the palette size (the O(log n) bound of Lemma 2.15 assumes the ζ = O(log n) regime)")
+	return t, nil
+}
+
+// runE8 compares the naive G²-simulation strawman against the improved
+// randomized algorithm as Δ grows at fixed n.
+func runE8(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "Naive G² simulation vs Improved-d2-Color (fixed n, growing Δ)",
+		Claim: "Simulating one G² round costs Θ(Δ) rounds on G, so the naive algorithm scales linearly in Δ while the paper's algorithm scales as log Δ",
+		Columns: []string{"n", "avg deg", "Δ", "naive rounds", "improved rounds", "naive/improved",
+			"naive / Δ", "improved / log Δ"},
+	}
+	n := 1024
+	degs := []float64{4, 8, 16, 32, 64, 96}
+	if cfg.Quick {
+		n = 256
+		degs = []float64{4, 8}
+	}
+	for _, d := range degs {
+		g := graph.GNPWithAverageDegree(n, d, int64(cfg.Seed)+int64(d*31))
+		delta := g.MaxDegree()
+		naive, err := baseline.NaiveD2(g, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		improvedTotal, _, _, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, cfg.reps())
+		if err != nil {
+			return nil, err
+		}
+		naiveRounds := float64(naive.Metrics.TotalRounds())
+		t.AddRow(itoa(n), ftoa(d), itoa(delta), ftoa(naiveRounds), ftoa(improvedTotal),
+			ftoa(naiveRounds/math.Max(improvedTotal, 1)),
+			ftoa(naiveRounds/float64(maxI(delta, 1))),
+			ftoa(improvedTotal/log2f(delta)))
+	}
+	t.AddNote("expected shape: naive/Δ stays roughly flat (linear-in-Δ cost) while improved/log Δ grows only slowly; the naive/improved ratio therefore grows with Δ and the crossover (naive losing outright) happens once Δ exceeds the polylog factors — extrapolate the two flat columns to locate it")
+	return t, nil
+}
+
+// runE9 validates the slack-generation claim: after the initial random
+// trials, sparse nodes have slack proportional to their sparsity.
+func runE9(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "Slack generation from sparsity (after the initial random-trial phase)",
+		Claim: "Proposition 2.5 / Observation 1: a ζ-sparse node obtains slack ≥ ζ/(4e³) w.h.p.",
+		Columns: []string{"workload", "n", "Δ", "avg ζ", "avg slack", "min slack/ζ (ζ≥1)",
+			"frac slack ≥ ζ/4e³", "live after step 2"},
+	}
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp avg8", graph.GNPWithAverageDegree(600, 8, int64(cfg.Seed))},
+		{"gnp avg16", graph.GNPWithAverageDegree(600, 16, int64(cfg.Seed)+1)},
+		{"cliquechain 10×10", graph.CliqueChain(10, 10, 0)},
+		{"unitdisk", graph.UnitDisk(400, 0.12, int64(cfg.Seed)+2)},
+	}
+	if cfg.Quick {
+		workloads = workloads[:2]
+	}
+	const fourECubed = 4 * math.E * math.E * math.E
+	for _, w := range workloads {
+		g := w.g
+		delta := g.MaxDegree()
+		palette := delta*delta + 1
+		phases := int(math.Ceil(3 * log2f(g.NumNodes())))
+		res, err := trial.Run(g, trial.Config{PaletteSize: palette, Scope: trial.ScopeDistance2,
+			MaxPhases: phases, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		sq := g.Square()
+		var sumZ, sumSlack, minRatio float64
+		minRatio = math.Inf(1)
+		okCount, constrained := 0, 0
+		live := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			z := sparsity.Sparsity(g, sq, delta, graph.NodeID(v))
+			s := float64(sparsity.Slack(sq, res.Coloring, palette, graph.NodeID(v)))
+			sumZ += z
+			sumSlack += s
+			if !res.Coloring.IsColored(graph.NodeID(v)) {
+				live++
+			}
+			if z >= 1 {
+				constrained++
+				if ratio := s / z; ratio < minRatio {
+					minRatio = ratio
+				}
+				if s >= z/fourECubed {
+					okCount++
+				}
+			}
+		}
+		n := float64(g.NumNodes())
+		frac := 1.0
+		if constrained > 0 {
+			frac = float64(okCount) / float64(constrained)
+		}
+		if math.IsInf(minRatio, 1) {
+			minRatio = 0
+		}
+		t.AddRow(w.name, itoa(g.NumNodes()), itoa(delta), ftoa(sumZ/n), ftoa(sumSlack/n),
+			ftoa(minRatio), ftoa(frac), itoa(live))
+	}
+	t.AddNote("expected shape: the fraction of nodes with slack ≥ ζ/(4e³) is ≈ 1 on every workload")
+	return t, nil
+}
+
+// runE10 exercises the Reduce machinery (queries, helper trials, forwarded
+// proposals) in the zero-sparsity regime it was designed for: Moore graphs of
+// diameter 2, whose squares are complete graphs.
+func runE10(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Reduce machinery in the dense (zero-sparsity) regime",
+		Claim: "Section 2.1/2.5: on Δ²-dense neighbourhoods the colored nodes' assistance (queries → helper trials → proposals) colours the remaining live nodes",
+		Columns: []string{"workload", "n", "Δ", "live after step 2", "reduce phases",
+			"queries sent", "queries dropped", "proposals", "colored by reduce", "live at finish"},
+	}
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"petersen", graph.Petersen()},
+		{"hoffman-singleton", graph.HoffmanSingleton()},
+	}
+	if cfg.Quick {
+		workloads = workloads[1:]
+	}
+	// Reduced initial budget and aggressive query/activity probabilities so
+	// that live nodes actually reach the main loop at n ≤ 50 (the paper's
+	// constants target n where Δ² ≫ 6000·log n; see DESIGN.md §2).
+	params := randd2.Default()
+	params.C0 = 0.3
+	params.C1 = 0.9
+	params.QueryDenominator = 1
+	params.ActiveDenominator = 1
+	for _, w := range workloads {
+		res, err := randd2.Run(w.g, randd2.Options{
+			Variant:                      randd2.VariantImproved,
+			Params:                       &params,
+			Seed:                         cfg.Seed,
+			DisableDeterministicFallback: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		liveAfterStep2 := w.g.NumNodes() - res.InitialColored
+		phases, queries, dropped, proposals, colored := 0, 0, 0, 0, 0
+		for _, s := range res.ReduceStats {
+			phases += s.Phases
+			queries += s.QueriesSent
+			dropped += s.QueriesDropped
+			proposals += s.Proposals
+			colored += s.NodesColored
+		}
+		t.AddRow(w.name, itoa(w.g.NumNodes()), itoa(w.g.MaxDegree()), itoa(liveAfterStep2),
+			itoa(phases), itoa(queries), itoa(dropped), itoa(proposals), itoa(colored),
+			itoa(res.PaletteStats.LiveNodes))
+	}
+	t.AddNote("expected shape: queries and proposals are non-zero and a positive number of live nodes are colored by Reduce itself (the rest are finished by LearnPalette+FinishColoring)")
+	t.AddNote("only the 5-cycle, Petersen and Hoffman–Singleton graphs realize the exact Δ²-dense regime; larger dense instances do not exist (Moore bound), which is why the asymptotic analysis works with near-dense 'solid' nodes instead")
+	return t, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+// Package kwise implements a family of k-wise independent hash functions
+// over a prime field, the substrate required by the derandomization of the
+// local refinement splitting (Theorem A.6 / Lemma A.5 of the paper).
+//
+// A function h drawn from Family(k) maps 64-bit keys to values in [0, m) such
+// that for any k distinct keys the outputs are independent and uniform. The
+// construction is the classical degree-(k-1) polynomial over F_p evaluated at
+// the key, with p a Mersenne prime (2^61 - 1) large enough for O(log n)-bit
+// identifiers.
+//
+// The paper uses such a family with k = Θ(log n) and one-bit outputs to give
+// every vertex of a cluster a coin from a shared O(log² n)-bit random seed;
+// Seed and FromSeed model exactly that: the seed is the list of polynomial
+// coefficients, and the "coin of vertex v" is Hash(ID(v)) mod 2.
+package kwise
+
+import (
+	"errors"
+	"fmt"
+
+	"d2color/internal/rng"
+)
+
+// prime is the Mersenne prime 2^61 - 1, used as the field modulus.
+const prime = (uint64(1) << 61) - 1
+
+// Family describes a k-wise independent family with outputs in [0, outRange).
+type Family struct {
+	k        int
+	outRange uint64
+}
+
+// Hash is one member of a k-wise independent family: a polynomial of degree
+// k-1 over F_p together with an output range.
+type Hash struct {
+	coeffs   []uint64 // k coefficients, constant term first
+	outRange uint64
+}
+
+// Errors returned by this package.
+var (
+	ErrBadK     = errors.New("kwise: independence parameter k must be >= 1")
+	ErrBadRange = errors.New("kwise: output range must be >= 1")
+	ErrBadSeed  = errors.New("kwise: seed has wrong length")
+)
+
+// NewFamily returns a k-wise independent family with outputs in [0, outRange).
+func NewFamily(k int, outRange uint64) (*Family, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, k)
+	}
+	if outRange < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadRange, outRange)
+	}
+	return &Family{k: k, outRange: outRange}, nil
+}
+
+// K returns the independence parameter of the family.
+func (f *Family) K() int { return f.k }
+
+// SeedLen returns the number of field elements in a seed for this family.
+// Each element is < 2^61, so a seed is k·61 ≈ O(k log n) bits, matching the
+// O(log² n)-bit seeds of Theorem A.6 for k = Θ(log n).
+func (f *Family) SeedLen() int { return f.k }
+
+// Draw samples a random member of the family using the provided source.
+func (f *Family) Draw(src *rng.Source) *Hash {
+	coeffs := make([]uint64, f.k)
+	for i := range coeffs {
+		coeffs[i] = src.Uint64() % prime
+	}
+	return &Hash{coeffs: coeffs, outRange: f.outRange}
+}
+
+// FromSeed constructs the family member identified by the given seed (one
+// field element per coefficient). Values are reduced modulo the field prime.
+func (f *Family) FromSeed(seed []uint64) (*Hash, error) {
+	if len(seed) != f.k {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadSeed, len(seed), f.k)
+	}
+	coeffs := make([]uint64, f.k)
+	for i, s := range seed {
+		coeffs[i] = s % prime
+	}
+	return &Hash{coeffs: coeffs, outRange: f.outRange}, nil
+}
+
+// Seed returns the seed (coefficient list) of the hash. The returned slice is
+// a copy.
+func (h *Hash) Seed() []uint64 {
+	out := make([]uint64, len(h.coeffs))
+	copy(out, h.coeffs)
+	return out
+}
+
+// Hash evaluates the function at the given key, returning a value in
+// [0, outRange).
+func (h *Hash) Hash(key uint64) uint64 {
+	x := key % prime
+	// Horner evaluation of the degree-(k-1) polynomial.
+	var acc uint64
+	for i := len(h.coeffs) - 1; i >= 0; i-- {
+		acc = addMod(mulMod(acc, x), h.coeffs[i])
+	}
+	return acc % h.outRange
+}
+
+// Bit returns the hash of key reduced to a single fair bit. This is the
+// "coin of vertex key" used by the splitting derandomization.
+func (h *Hash) Bit(key uint64) int {
+	// Use a high-order bit of the field element rather than the value mod 2 of
+	// the ranged output, to avoid bias when outRange does not divide p.
+	x := key % prime
+	var acc uint64
+	for i := len(h.coeffs) - 1; i >= 0; i-- {
+		acc = addMod(mulMod(acc, x), h.coeffs[i])
+	}
+	return int((acc >> 30) & 1)
+}
+
+// addMod returns (a + b) mod p for a, b < p.
+func addMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= prime {
+		s -= prime
+	}
+	return s
+}
+
+// mulMod returns (a * b) mod p using 128-bit intermediate arithmetic and the
+// Mersenne-prime reduction 2^61 ≡ 1 (mod p).
+func mulMod(a, b uint64) uint64 {
+	hi, lo := mul64(a, b)
+	// a*b = hi·2^64 + lo = hi·8·2^61 + lo ≡ hi·8 + lo (mod 2^61-1), but care
+	// is needed to keep partial sums below 2^64. Split lo into low 61 bits and
+	// high 3 bits.
+	lo61 := lo & prime
+	carry := (lo >> 61) | (hi << 3)
+	res := lo61 + (carry & prime) + (carry >> 61)
+	for res >= prime {
+		res -= prime
+	}
+	return res
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+
+	t := aLo * bLo
+	w0 := t & mask32
+	k := t >> 32
+
+	t = aHi*bLo + k
+	w1 := t & mask32
+	w2 := t >> 32
+
+	t = aLo*bHi + w1
+	k = t >> 32
+
+	hi = aHi*bHi + w2 + k
+	lo = t<<32 + w0
+	return hi, lo
+}

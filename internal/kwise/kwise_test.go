@@ -1,0 +1,148 @@
+package kwise
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"d2color/internal/rng"
+)
+
+func TestNewFamilyValidation(t *testing.T) {
+	if _, err := NewFamily(0, 2); !errors.Is(err, ErrBadK) {
+		t.Errorf("NewFamily(0,2) = %v, want ErrBadK", err)
+	}
+	if _, err := NewFamily(3, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("NewFamily(3,0) = %v, want ErrBadRange", err)
+	}
+	f, err := NewFamily(4, 16)
+	if err != nil {
+		t.Fatalf("NewFamily(4,16): %v", err)
+	}
+	if f.K() != 4 || f.SeedLen() != 4 {
+		t.Errorf("K()=%d SeedLen()=%d, want 4,4", f.K(), f.SeedLen())
+	}
+}
+
+func TestSeedRoundTrip(t *testing.T) {
+	f, _ := NewFamily(5, 100)
+	src := rng.New(1)
+	h := f.Draw(src)
+	seed := h.Seed()
+	h2, err := f.FromSeed(seed)
+	if err != nil {
+		t.Fatalf("FromSeed: %v", err)
+	}
+	for key := uint64(0); key < 500; key++ {
+		if h.Hash(key) != h2.Hash(key) || h.Bit(key) != h2.Bit(key) {
+			t.Fatalf("seed round trip mismatch at key %d", key)
+		}
+	}
+	if _, err := f.FromSeed(seed[:2]); !errors.Is(err, ErrBadSeed) {
+		t.Errorf("FromSeed with short seed = %v, want ErrBadSeed", err)
+	}
+}
+
+func TestHashRange(t *testing.T) {
+	f, _ := NewFamily(3, 7)
+	h := f.Draw(rng.New(2))
+	for key := uint64(0); key < 10000; key++ {
+		if v := h.Hash(key); v >= 7 {
+			t.Fatalf("Hash(%d) = %d out of range [0,7)", key, v)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	f, _ := NewFamily(8, 2)
+	h := f.Draw(rng.New(3))
+	ones := 0
+	const keys = 20000
+	for key := uint64(0); key < keys; key++ {
+		b := h.Bit(key)
+		if b != 0 && b != 1 {
+			t.Fatalf("Bit returned %d", b)
+		}
+		ones += b
+	}
+	frac := float64(ones) / keys
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("bit frequency %.4f, want ≈0.5", frac)
+	}
+}
+
+func TestPairwiseIndependenceEmpirical(t *testing.T) {
+	// For a 2-wise independent family with one-bit outputs, the four joint
+	// outcomes of (h(x), h(y)) for fixed x != y should each appear with
+	// probability ≈ 1/4 over the draw of h.
+	f, _ := NewFamily(2, 2)
+	src := rng.New(7)
+	var joint [2][2]int
+	const draws = 8000
+	for i := 0; i < draws; i++ {
+		h := f.Draw(src)
+		joint[h.Bit(12345)][h.Bit(67890)]++
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			frac := float64(joint[a][b]) / draws
+			if math.Abs(frac-0.25) > 0.03 {
+				t.Errorf("joint outcome (%d,%d) frequency %.4f, want ≈0.25", a, b, frac)
+			}
+		}
+	}
+}
+
+func TestDistinctMembersDiffer(t *testing.T) {
+	f, _ := NewFamily(3, 1024)
+	src := rng.New(9)
+	h1 := f.Draw(src)
+	h2 := f.Draw(src)
+	same := true
+	for key := uint64(0); key < 64; key++ {
+		if h1.Hash(key) != h2.Hash(key) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("independently drawn family members agree on 64 keys (extremely unlikely)")
+	}
+}
+
+func TestMulModAgainstBigArithmetic(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= prime
+		b %= prime
+		got := mulMod(a, b)
+		// Reference via 128-bit arithmetic from math/bits and a plain mod.
+		hi, lo := bits.Mul64(a, b)
+		want := bits.Rem64(hi, lo, prime)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		whi, wlo := bits.Mul64(a, b)
+		return hi == whi && lo == wlo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddMod(t *testing.T) {
+	if got := addMod(prime-1, 1); got != 0 {
+		t.Errorf("addMod(p-1,1) = %d, want 0", got)
+	}
+	if got := addMod(5, 7); got != 12 {
+		t.Errorf("addMod(5,7) = %d, want 12", got)
+	}
+}

@@ -1,0 +1,178 @@
+package randd2
+
+import (
+	"fmt"
+	"math"
+
+	"d2color/internal/graph"
+)
+
+// PaletteStats reports what LearnPalette observed, for experiment E7.
+type PaletteStats struct {
+	LiveNodes     int
+	MaxMissing    int // max over live nodes of |Tv|, the colours learned only via the correction step (Lemma 2.15: O(log n))
+	MaxLivePerNbr int // max number of live d2-neighbours of any node (the precondition bound ϕ)
+	ChargedRounds int
+}
+
+// learnPalette implements Algorithm LearnPalette of Section 2.6.
+//
+// Outcome: every live node knows its remaining palette — the set of colours
+// in [Δ²+1] not used by any of its d2-neighbours. In the protocol this
+// knowledge is assembled by handler nodes (one per block of ~Δ colours per
+// live node) that colored nodes reach through random 2-paths; the colours a
+// live node fails to learn that way (the set Tv) are recovered exactly in the
+// final correction step through its immediate neighbours (step 7). We compute
+// both quantities: the exact remaining palette (the protocol's guaranteed
+// output) and |Tv| — here the colours of d2-neighbours that are not
+// H-neighbours of v, the quantity Lemma 2.15 bounds by O(log n) — which the
+// harness reports.
+//
+// Round charge (Theorem 2.16 with Z = Δ and P = Δ·sqrt(Δ·log n)):
+// O(ϕ) for the floodings of steps 1–2 plus O(log n) for steps 3–7, which is
+// O(log n) when Δ = Ω(log n). We charge ϕ + 4·log₂ n.
+func (r *runner) learnPalette() (remaining [][]int, stats PaletteStats) {
+	live := r.liveNodes()
+	stats.LiveNodes = len(live)
+	remaining = make([][]int, r.n)
+
+	// Precondition quantity ϕ: live d2-neighbours per node.
+	for v := 0; v < r.n; v++ {
+		liveNbrs := 0
+		for _, u := range r.sq.Neighbors(graph.NodeID(v)) {
+			if r.isLive(u) {
+				liveNbrs++
+			}
+		}
+		if liveNbrs > stats.MaxLivePerNbr {
+			stats.MaxLivePerNbr = liveNbrs
+		}
+	}
+
+	for _, v := range live {
+		usedAll := make([]bool, r.palette)  // colours of all colored d2-neighbours
+		usedViaH := make([]bool, r.palette) // colours the handlers learn (from H-neighbours)
+		for _, u := range r.sq.Neighbors(v) {
+			c := r.col[u]
+			if c < 0 || c >= r.palette {
+				continue
+			}
+			usedAll[c] = true
+			if r.sim.isHNeighbor(v, u) {
+				usedViaH[c] = true
+			}
+		}
+		// Tv: colours v did not learn through the handler mechanism and must
+		// recover via the correction step — exactly the colours used only by
+		// non-H d2-neighbours (proof of Lemma 2.15).
+		missing := 0
+		for c := 0; c < r.palette; c++ {
+			if usedAll[c] && !usedViaH[c] {
+				missing++
+			}
+		}
+		if missing > stats.MaxMissing {
+			stats.MaxMissing = missing
+		}
+		// The protocol's guaranteed output: the exact remaining palette.
+		rem := make([]int, 0, r.palette)
+		for c := 0; c < r.palette; c++ {
+			if !usedAll[c] {
+				rem = append(rem, c)
+			}
+		}
+		remaining[v] = rem
+	}
+
+	stats.ChargedRounds = stats.MaxLivePerNbr + int(math.Ceil(4*log2(r.n)))
+	r.charge(stats.ChargedRounds)
+	return remaining, stats
+}
+
+// FinishStats reports the FinishColoring run for experiment E7.
+type FinishStats struct {
+	Phases        int
+	ChargedRounds int
+}
+
+// finishColoring implements Algorithm FinishColoring of Section 2.6: every
+// live node repeatedly flips a fair coin to be quiet or to try a uniformly
+// random colour from its known remaining palette; successful nodes notify
+// their d2-neighbourhood, which removes the colour from the neighbours'
+// remaining palettes. Lemma 2.14: completes in O(log n) phases w.h.p.
+//
+// Round charge: 3 rounds per phase — the two rounds of the try plus one
+// amortized round for forwarding colour notifications two hops (the Busy
+// mechanism of Section 2.6 bounds the total backlog by the number of live
+// d2-neighbours, which the O(log n) phase bound already absorbs).
+func (r *runner) finishColoring(remaining [][]int) (FinishStats, error) {
+	var stats FinishStats
+	maxPhases := r.params.MaxFinishPhases
+	if maxPhases <= 0 {
+		maxPhases = 64*int(math.Ceil(log2(r.n))) + 256
+	}
+	// Mutable per-live-node palettes.
+	avail := make([]map[int]struct{}, r.n)
+	for v := 0; v < r.n; v++ {
+		if remaining[v] == nil {
+			continue
+		}
+		m := make(map[int]struct{}, len(remaining[v]))
+		for _, c := range remaining[v] {
+			m[c] = struct{}{}
+		}
+		avail[v] = m
+	}
+
+	for phase := 0; phase < maxPhases && r.liveLeft > 0; phase++ {
+		stats.Phases++
+		tries := make(map[graph.NodeID]int)
+		for _, v := range r.liveNodes() {
+			if avail[v] == nil || len(avail[v]) == 0 {
+				// Cannot happen for a correct remaining palette (it always
+				// contains at least live-degree+1 colours); guard anyway.
+				continue
+			}
+			// Fair coin: quiet or try (Section 2.6).
+			if !r.rand[v].Bool() {
+				continue
+			}
+			pick := r.rand[v].Intn(len(avail[v]))
+			tries[v] = nthFromSet(avail[v], pick)
+		}
+		colored := r.resolveTries(tries)
+		for _, v := range colored {
+			c := r.col[v]
+			for _, u := range r.sq.Neighbors(v) {
+				if avail[u] != nil {
+					delete(avail[u], c)
+				}
+			}
+		}
+		r.charge(3)
+		stats.ChargedRounds += 3
+	}
+	if r.liveLeft > 0 {
+		return stats, fmt.Errorf("randd2: FinishColoring left %d live nodes after %d phases", r.liveLeft, stats.Phases)
+	}
+	return stats, nil
+}
+
+// nthFromSet returns the i-th smallest element of the set (deterministic
+// given the set contents, so runs are reproducible per seed).
+func nthFromSet(set map[int]struct{}, i int) int {
+	keys := make([]int, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	// Small sets (remaining palettes are O(log n)); insertion sort is fine.
+	for a := 1; a < len(keys); a++ {
+		for b := a; b > 0 && keys[b] < keys[b-1]; b-- {
+			keys[b], keys[b-1] = keys[b-1], keys[b]
+		}
+	}
+	if i < 0 || i >= len(keys) {
+		return -1
+	}
+	return keys[i]
+}

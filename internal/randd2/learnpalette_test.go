@@ -1,0 +1,132 @@
+package randd2
+
+import (
+	"testing"
+
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+	"d2color/internal/sparsity"
+	"d2color/internal/verify"
+)
+
+func TestLearnPaletteExactness(t *testing.T) {
+	// Color part of a Hoffman–Singleton graph, then check that the remaining
+	// palette LearnPalette reports for every live node is exactly the set of
+	// colours not used among its distance-2 neighbours.
+	g := graph.HoffmanSingleton()
+	p := Default()
+	p.ExactSimilarity = true // the |Tv| assertion below needs the exact H, not the sampled one
+	r := newTestRunner(t, g, p, 2)
+	for v := 0; v < 30; v++ {
+		used := make(map[int]bool)
+		for _, u := range r.sq.Neighbors(graph.NodeID(v)) {
+			if r.col[u] != coloring.Uncolored {
+				used[r.col[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		r.col[v] = c
+		r.liveLeft--
+	}
+	remaining, stats := r.learnPalette()
+	if stats.LiveNodes != 20 {
+		t.Fatalf("live nodes = %d, want 20", stats.LiveNodes)
+	}
+	if stats.ChargedRounds <= 0 {
+		t.Error("LearnPalette should charge rounds")
+	}
+	for _, v := range r.liveNodes() {
+		want := sparsity.Leeway(r.sq, r.col, r.palette, v)
+		if len(remaining[v]) != want {
+			t.Fatalf("node %d: remaining palette size %d, want leeway %d", v, len(remaining[v]), want)
+		}
+		for _, c := range remaining[v] {
+			if r.colorUsedByColoredD2Neighbor(v, c) {
+				t.Fatalf("node %d: colour %d reported available but used within distance 2", v, c)
+			}
+		}
+	}
+	// On the Hoffman–Singleton graph every d2-neighbour is an H-neighbour, so
+	// the handler mechanism learns everything and |Tv| = 0.
+	if stats.MaxMissing != 0 {
+		t.Errorf("MaxMissing = %d, want 0 on a Moore graph", stats.MaxMissing)
+	}
+}
+
+func TestFinishColoringCompletesAndStaysValid(t *testing.T) {
+	g := graph.HoffmanSingleton()
+	r := newTestRunner(t, g, Default(), 3)
+	remaining, _ := r.learnPalette()
+	fstats, err := r.finishColoring(remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.liveLeft != 0 {
+		t.Fatalf("FinishColoring left %d live nodes", r.liveLeft)
+	}
+	if fstats.Phases == 0 || fstats.ChargedRounds != 3*fstats.Phases {
+		t.Errorf("stats = %+v", fstats)
+	}
+	if rep := verify.CheckD2(g, r.col, r.palette); !rep.Valid {
+		t.Errorf("%v", rep.Error())
+	}
+}
+
+func TestFinishColoringRespectsPreexistingColors(t *testing.T) {
+	g := graph.Petersen()
+	r := newTestRunner(t, g, Default(), 4)
+	r.col[0] = 5
+	r.liveLeft--
+	remaining, _ := r.learnPalette()
+	// Node 0's colour must not appear in any live node's remaining palette
+	// (everyone is within distance 2 of node 0 on the Petersen graph).
+	for _, v := range r.liveNodes() {
+		for _, c := range remaining[v] {
+			if c == 5 {
+				t.Fatalf("node %d offered colour 5, already used by its d2-neighbour 0", v)
+			}
+		}
+	}
+	if _, err := r.finishColoring(remaining); err != nil {
+		t.Fatal(err)
+	}
+	if r.col[0] != 5 {
+		t.Error("pre-existing colour was overwritten")
+	}
+	if rep := verify.CheckD2(g, r.col, r.palette); !rep.Valid {
+		t.Errorf("%v", rep.Error())
+	}
+}
+
+func TestNthFromSet(t *testing.T) {
+	set := map[int]struct{}{7: {}, 2: {}, 9: {}}
+	if nthFromSet(set, 0) != 2 || nthFromSet(set, 1) != 7 || nthFromSet(set, 2) != 9 {
+		t.Error("nthFromSet should enumerate in increasing order")
+	}
+	if nthFromSet(set, 3) != -1 || nthFromSet(set, -1) != -1 {
+		t.Error("out-of-range index should return -1")
+	}
+}
+
+func TestLearnPaletteOnFullyColoredGraph(t *testing.T) {
+	g := graph.Petersen()
+	r := newTestRunner(t, g, Default(), 6)
+	for v := 0; v < g.NumNodes(); v++ {
+		r.col[v] = v
+	}
+	r.liveLeft = 0
+	remaining, stats := r.learnPalette()
+	if stats.LiveNodes != 0 || stats.MaxLivePerNbr != 0 {
+		t.Errorf("stats = %+v, want no live nodes", stats)
+	}
+	fstats, err := r.finishColoring(remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fstats.Phases != 0 {
+		t.Errorf("finish on a complete coloring should take 0 phases, got %d", fstats.Phases)
+	}
+}

@@ -1,0 +1,152 @@
+package randd2
+
+import (
+	"d2color/internal/coloring"
+	"d2color/internal/congest"
+	"d2color/internal/graph"
+	"d2color/internal/rng"
+)
+
+// runner holds the mutable state of one execution of the randomized
+// algorithm: the graph, its square, the current partial coloring, the
+// similarity graphs, per-node random streams and the accumulated cost
+// metrics.
+//
+// Every decision made by the runner uses only information the corresponding
+// node could have gathered in the distributed protocol (its own state, its
+// neighbours' colors via the trial/notification mechanism, its H/Ĥ adjacency,
+// and the payloads of queries routed to it); the runner merely executes those
+// decisions phase by phase and charges the CONGEST rounds the paper assigns
+// to each phase.
+type runner struct {
+	g       *graph.Graph
+	sq      *graph.Graph
+	n       int
+	delta   int
+	palette int
+	params  Params
+	seed    uint64
+
+	col      coloring.Coloring
+	liveLeft int
+	sim      *similarity
+	rand     []*rng.Source
+
+	metrics      congest.Metrics
+	activeRounds int // TotalRounds when the coloring first became complete (-1 while incomplete)
+}
+
+func newRunner(g *graph.Graph, p Params, seed uint64) *runner {
+	n := g.NumNodes()
+	delta := g.MaxDegree()
+	r := &runner{
+		g:            g,
+		sq:           g.Square(),
+		n:            n,
+		delta:        delta,
+		palette:      delta*delta + 1,
+		params:       p,
+		seed:         seed,
+		col:          coloring.New(n),
+		liveLeft:     n,
+		rand:         make([]*rng.Source, n),
+		activeRounds: -1,
+	}
+	for v := 0; v < n; v++ {
+		r.rand[v] = rng.Split(seed, uint64(v)+1)
+	}
+	return r
+}
+
+// charge adds k charged CONGEST rounds to the run's metrics.
+func (r *runner) charge(k int) {
+	if k > 0 {
+		r.metrics.ChargedRounds += k
+	}
+	r.noteCompletion()
+}
+
+// addMetrics folds the metrics of a simulated sub-protocol into the run.
+func (r *runner) addMetrics(m congest.Metrics) {
+	r.metrics = r.metrics.Add(m)
+	r.noteCompletion()
+}
+
+// noteCompletion records the first point at which the coloring is complete.
+func (r *runner) noteCompletion() {
+	if r.activeRounds < 0 && r.liveLeft == 0 {
+		r.activeRounds = r.metrics.TotalRounds()
+	}
+}
+
+// isLive reports whether v is still uncolored.
+func (r *runner) isLive(v graph.NodeID) bool { return r.col[v] == coloring.Uncolored }
+
+// adoptColoring merges a coloring produced by a sub-protocol (e.g. the step-2
+// trial run) into the runner's coloring.
+func (r *runner) adoptColoring(c coloring.Coloring) {
+	for v := 0; v < r.n; v++ {
+		if r.col[v] == coloring.Uncolored && c[v] != coloring.Uncolored {
+			r.col[v] = c[v]
+			r.liveLeft--
+		}
+	}
+	r.noteCompletion()
+}
+
+// colorUsedByColoredD2Neighbor reports whether color c is already used by a
+// colored distance-2 neighbour of v. In the protocol this is exactly the
+// answer v's immediate neighbours give when v tries c.
+func (r *runner) colorUsedByColoredD2Neighbor(v graph.NodeID, c int) bool {
+	for _, u := range r.sq.Neighbors(v) {
+		if r.col[u] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveTries applies one synchronous round of color tries: tries maps live
+// nodes to the color they try this phase. A try succeeds iff no colored
+// distance-2 neighbour already has the color and no other node tries the same
+// color at distance at most 2 (both such tries fail, as in the trial
+// primitive). It returns the nodes that became colored.
+func (r *runner) resolveTries(tries map[graph.NodeID]int) []graph.NodeID {
+	colored := make([]graph.NodeID, 0, len(tries))
+	for v, c := range tries {
+		if c < 0 || c >= r.palette || !r.isLive(v) {
+			continue
+		}
+		ok := true
+		for _, u := range r.sq.Neighbors(v) {
+			if r.col[u] == c {
+				ok = false
+				break
+			}
+			if other, trying := tries[u]; trying && other == c {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			colored = append(colored, v)
+		}
+	}
+	for _, v := range colored {
+		r.col[v] = tries[v]
+		r.liveLeft--
+	}
+	r.noteCompletion()
+	return colored
+}
+
+// liveNodes returns the currently uncolored nodes.
+func (r *runner) liveNodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, r.liveLeft)
+	for v := 0; v < r.n; v++ {
+		if r.isLive(graph.NodeID(v)) {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package randd2
+
+import (
+	"sort"
+
+	"d2color/internal/graph"
+	"d2color/internal/rng"
+)
+
+// similarity holds the similarity graphs H = H_{2/3} and Ĥ = H_{5/6} of
+// Section 2.3: two d2-neighbours are H_{1-1/k}-adjacent when they share at
+// least (1-1/k)·Δ² common d2-neighbours. H decides which colored nodes may
+// assist which live nodes in Reduce-Phase; Ĥ (the stricter graph) decides
+// which nodes a live node queries.
+type similarity struct {
+	h      [][]graph.NodeID // adjacency lists of H, indexed by node
+	hHat   [][]graph.NodeID // adjacency lists of Ĥ
+	rounds int              // CONGEST rounds charged for the construction
+}
+
+// hNeighbors returns the H-neighbour list of v.
+func (s *similarity) hNeighbors(v graph.NodeID) []graph.NodeID { return s.h[v] }
+
+// hHatNeighbors returns the Ĥ-neighbour list of v.
+func (s *similarity) hHatNeighbors(v graph.NodeID) []graph.NodeID { return s.hHat[v] }
+
+// hDegree returns deg_H(v).
+func (s *similarity) hDegree(v graph.NodeID) int { return len(s.h[v]) }
+
+// isHNeighbor reports whether u is an H-neighbour of v.
+func (s *similarity) isHNeighbor(v, u graph.NodeID) bool {
+	lst := s.h[v]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= u })
+	return i < len(lst) && lst[i] == u
+}
+
+// buildSimilarity constructs H and Ĥ.
+//
+// When p.ExactSimilarity is set (or Δ² = O(log n), where the paper gathers
+// whole neighbourhoods directly), the exact common-d2-neighbour counts are
+// used. Otherwise the sampling protocol of Section 2.3 is followed: every
+// node enters a sample S independently with probability c10·log n / Δ²; each
+// node learns the sampled nodes in its d2-neighbourhood (Sv); two
+// d2-neighbours are declared H_{1-1/k}-adjacent when |Su ∩ Sv| is at least a
+// (1 − 1/(2k)) fraction of the expected sample size (Theorem 2.2).
+//
+// Round charge: the sampling, the O(log n)-size set exchange and the
+// pipelined comparison all fit in O(log n) rounds (Section 2.3); the exact
+// variant for Δ² = O(log n) also costs O(log n) rounds.
+func buildSimilarity(g *graph.Graph, sq *graph.Graph, delta int, p Params, seed uint64) *similarity {
+	n := g.NumNodes()
+	s := &similarity{
+		h:    make([][]graph.NodeID, n),
+		hHat: make([][]graph.NodeID, n),
+	}
+	logN := log2(n)
+	d2 := delta * delta
+	s.rounds = int(2*logN) + 2 // Section 2.3: O(log n) rounds, constant 2 for the exchange + comparison
+
+	if d2 == 0 {
+		return s
+	}
+
+	useExact := p.ExactSimilarity || float64(d2) <= p.C10*logN
+	var commonCount func(u, v graph.NodeID) (count int, denom float64)
+
+	if useExact {
+		// Exact counts against the true d2-degree bound Δ².
+		commonCount = func(u, v graph.NodeID) (int, float64) {
+			return commonSortedCount(sq.Neighbors(u), sq.Neighbors(v)), float64(d2)
+		}
+	} else {
+		// Sampling protocol. S is drawn with per-node coins; Sv is the sorted
+		// list of sampled d2-neighbours of v.
+		prob := p.C10 * logN / float64(d2)
+		if prob > 1 {
+			prob = 1
+		}
+		inSample := make([]bool, n)
+		src := rng.Split(seed, 0x51A11)
+		for v := 0; v < n; v++ {
+			inSample[v] = src.Bernoulli(prob)
+		}
+		samples := make([][]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			for _, u := range sq.Neighbors(graph.NodeID(v)) {
+				if inSample[u] {
+					samples[v] = append(samples[v], u)
+				}
+			}
+		}
+		expected := prob * float64(d2)
+		commonCount = func(u, v graph.NodeID) (int, float64) {
+			return commonSortedCount(samples[u], samples[v]), expected
+		}
+	}
+
+	// Thresholds per Theorem 2.2: H_{1-1/k} requires a (1 − 1/(2k)) fraction
+	// of the reference quantity (Δ² exactly, or the expected sample size).
+	kH := 1 / (1 - p.SimilarityH)      // k = 3 for H_{2/3}
+	kHat := 1 / (1 - p.SimilarityHHat) // k = 6 for H_{5/6}
+	fracH := 1 - 1/(2*kH)              // 5/6 of the sample for H
+	fracHat := 1 - 1/(2*kHat)          // 11/12 of the sample for Ĥ
+	if useExact {
+		// With exact counts the thresholds are the definitional fractions.
+		fracH = p.SimilarityH
+		fracHat = p.SimilarityHHat
+	}
+
+	for v := 0; v < n; v++ {
+		for _, u := range sq.Neighbors(graph.NodeID(v)) {
+			if u <= graph.NodeID(v) {
+				continue
+			}
+			count, denom := commonCount(graph.NodeID(v), u)
+			if denom <= 0 {
+				continue
+			}
+			frac := float64(count) / denom
+			if frac >= fracH {
+				s.h[v] = append(s.h[v], u)
+				s.h[u] = append(s.h[u], graph.NodeID(v))
+			}
+			if frac >= fracHat {
+				s.hHat[v] = append(s.hHat[v], u)
+				s.hHat[u] = append(s.hHat[u], graph.NodeID(v))
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		sortNodeSlice(s.h[v])
+		sortNodeSlice(s.hHat[v])
+	}
+	return s
+}
+
+// commonSortedCount returns |a ∩ b| for sorted slices.
+func commonSortedCount(a, b []graph.NodeID) int {
+	i, j, count := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+func sortNodeSlice(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,150 @@
+package randd2
+
+import (
+	"testing"
+
+	"d2color/internal/graph"
+)
+
+func buildSim(t *testing.T, g *graph.Graph, exact bool) *similarity {
+	t.Helper()
+	p := Default()
+	p.ExactSimilarity = exact
+	return buildSimilarity(g, g.Square(), g.MaxDegree(), p, 99)
+}
+
+func TestSimilaritySymmetricAndSubsetOfSquare(t *testing.T) {
+	g := graph.CliqueChain(5, 6, 0)
+	sq := g.Square()
+	for _, exact := range []bool{true, false} {
+		sim := buildSim(t, g, exact)
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, u := range sim.hNeighbors(graph.NodeID(v)) {
+				if !sim.isHNeighbor(u, graph.NodeID(v)) {
+					t.Fatalf("exact=%v: H not symmetric at (%d,%d)", exact, v, u)
+				}
+				if !sq.HasEdge(graph.NodeID(v), u) {
+					t.Fatalf("exact=%v: H edge (%d,%d) not a d2 pair", exact, v, u)
+				}
+			}
+			for _, u := range sim.hHatNeighbors(graph.NodeID(v)) {
+				if !sim.isHNeighbor(graph.NodeID(v), u) {
+					t.Fatalf("exact=%v: Ĥ edge (%d,%d) missing from H (Ĥ ⊆ H must hold)", exact, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestSimilarityExactOnCliqueIsComplete(t *testing.T) {
+	// Inside one clique of a clique chain, all nodes share almost all of
+	// their d2-neighbourhood... but the definitional denominator is Δ², so
+	// whether they qualify depends on neighbourhood size vs Δ². Use a single
+	// clique: every pair of nodes has the same d2-neighbourhood of size n-1,
+	// while Δ² = (n-1)². The common fraction (n-2)/(n-1)² is far below 2/3,
+	// so H must be empty — this documents that H only becomes rich when
+	// neighbourhoods approach the Δ² bound (the dense regime of Section 2.1).
+	g := graph.Complete(10)
+	sim := buildSim(t, g, true)
+	for v := 0; v < g.NumNodes(); v++ {
+		if sim.hDegree(graph.NodeID(v)) != 0 {
+			t.Fatalf("H should be empty on a small clique, node %d has degree %d", v, sim.hDegree(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestSimilarityCompleteOnMooreGraphs(t *testing.T) {
+	// On the Hoffman–Singleton graph every distance-2 neighbourhood is
+	// exactly Δ² = 49 nodes and every pair of nodes shares 48 of them, so the
+	// definitional thresholds 2/3 and 5/6 are comfortably met: H and Ĥ must
+	// both be the complete graph on 50 nodes. This is the dense regime the
+	// Reduce machinery is designed for (Section 2.1).
+	g := graph.HoffmanSingleton()
+	sim := buildSim(t, g, true)
+	for v := 0; v < g.NumNodes(); v++ {
+		if got := sim.hDegree(graph.NodeID(v)); got != 49 {
+			t.Fatalf("H degree of node %d = %d, want 49", v, got)
+		}
+		if got := len(sim.hHatNeighbors(graph.NodeID(v))); got != 49 {
+			t.Fatalf("Ĥ degree of node %d = %d, want 49", v, got)
+		}
+	}
+	// Petersen (Δ = 3, Δ² = 9, common = 8 ≥ 5/6·9): also complete.
+	p := graph.Petersen()
+	simP := buildSim(t, p, true)
+	for v := 0; v < p.NumNodes(); v++ {
+		if got := simP.hDegree(graph.NodeID(v)); got != 9 {
+			t.Fatalf("Petersen H degree of node %d = %d, want 9", v, got)
+		}
+	}
+}
+
+func TestSimilarityEmptyOnCliqueChain(t *testing.T) {
+	// The similarity thresholds are fractions of Δ², not of the actual
+	// neighbourhood size; on a clique chain neighbourhoods have ≈ Δ nodes, so
+	// no pair can share 2Δ²/3 of them and H is empty. (Such graphs are
+	// handled by the slack generated in the initial phase — Prop 2.5 — not by
+	// Reduce.)
+	g := graph.CliqueChain(6, 8, 0)
+	sim := buildSim(t, g, true)
+	for v := 0; v < g.NumNodes(); v++ {
+		if sim.hDegree(graph.NodeID(v)) != 0 {
+			t.Fatalf("expected empty H on a clique chain, node %d has degree %d", v, sim.hDegree(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestSimilaritySampledApproximatesExact(t *testing.T) {
+	// Theorem 2.2 (one direction, with room for the sampling noise at this
+	// tiny scale): every edge the sampled construction declares must be a
+	// genuinely high-overlap pair — at least a 1/3 fraction of Δ² common
+	// distance-2 neighbours — and the sampled graph must cover a substantial
+	// part of the exact one on the Hoffman–Singleton graph, where the exact H
+	// is complete with a wide margin.
+	g := graph.HoffmanSingleton()
+	delta := g.MaxDegree()
+	p := Default()
+	p.C10 = 8 // a larger sample keeps the concentration argument valid at n = 50
+	sim := buildSimilarity(g, g.Square(), delta, p, 99)
+	declared := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		declared += sim.hDegree(graph.NodeID(v))
+		for _, u := range sim.hNeighbors(graph.NodeID(v)) {
+			common := g.CommonDist2Neighbors(graph.NodeID(v), u)
+			if float64(common) < float64(delta*delta)/3 {
+				t.Errorf("sampled H edge (%d,%d) has only %d/%d common d2-neighbours", v, u, common, delta*delta)
+			}
+		}
+	}
+	// The exact H has 50·49 directed edges; the sample (≈17 of 49 nodes per
+	// neighbourhood at this n) should recover at least half of them.
+	if declared < 50*49/2 {
+		t.Errorf("sampled H recovered only %d of %d directed edges", declared, 50*49)
+	}
+}
+
+func TestSimilarityDegenerate(t *testing.T) {
+	empty := graph.NewBuilder(3).Build()
+	sim := buildSimilarity(empty, empty.Square(), 0, Default(), 1)
+	for v := 0; v < 3; v++ {
+		if sim.hDegree(graph.NodeID(v)) != 0 {
+			t.Error("similarity graph of an edgeless graph should be empty")
+		}
+	}
+	if sim.rounds <= 0 {
+		t.Error("similarity construction should still charge its rounds")
+	}
+}
+
+func TestSimilarityRoundChargeLogarithmic(t *testing.T) {
+	small := graph.GNP(64, 0.1, 1)
+	large := graph.GNP(1024, 0.006, 1)
+	simSmall := buildSim(t, small, false)
+	simLarge := buildSim(t, large, false)
+	if simLarge.rounds <= simSmall.rounds {
+		t.Errorf("round charge should grow with log n: %d vs %d", simSmall.rounds, simLarge.rounds)
+	}
+	if simLarge.rounds > 10*simSmall.rounds {
+		t.Errorf("round charge should grow only logarithmically: %d vs %d", simSmall.rounds, simLarge.rounds)
+	}
+}

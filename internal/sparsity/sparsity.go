@@ -1,0 +1,121 @@
+// Package sparsity computes the structural quantities that drive the
+// analysis of the randomized algorithm (Section 2.4 of the paper): the
+// sparsity ζ of a node's distance-2 neighborhood, and the slack / leeway of a
+// node with respect to a partial coloring.
+//
+// These quantities are never used by the distributed algorithms themselves
+// (the paper stresses that nodes do not know their leeway); they exist for
+// analysis, tests, and experiment E9, which validates the slack-generation
+// claim of Proposition 2.5 / Observation 1.
+package sparsity
+
+import (
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+)
+
+// Sparsity returns ζ(v), defined (Definition 2.4) by
+//
+//	|E(G²[v])| = C(Δ², 2) − Δ² · ζ(v),
+//
+// i.e. ζ(v) = (C(Δ²,2) − |E(G²[v])|) / Δ², where G²[v] is the subgraph of G²
+// induced by the distance-2 neighbors of v and Δ is the maximum degree of G.
+// The value lies in [0, (Δ²−1)/2]. It is 0 exactly when the d2-neighborhood
+// of v is a clique of size Δ².
+//
+// sq must be the square graph g.Square(); passing it in avoids recomputing it
+// per call. delta is the maximum degree Δ of the base graph.
+func Sparsity(g *graph.Graph, sq *graph.Graph, delta int, v graph.NodeID) float64 {
+	d2 := delta * delta
+	if d2 == 0 {
+		return 0
+	}
+	nbrs := sq.Neighbors(v)
+	inNbr := make(map[graph.NodeID]struct{}, len(nbrs))
+	for _, u := range nbrs {
+		inNbr[u] = struct{}{}
+	}
+	edges := 0
+	for _, u := range nbrs {
+		for _, w := range sq.Neighbors(u) {
+			if w <= u {
+				continue
+			}
+			if _, ok := inNbr[w]; ok {
+				edges++
+			}
+		}
+	}
+	full := float64(d2) * float64(d2-1) / 2
+	zeta := (full - float64(edges)) / float64(d2)
+	if zeta < 0 {
+		return 0
+	}
+	return zeta
+}
+
+// AllSparsities returns ζ(v) for every node.
+func AllSparsities(g *graph.Graph, sq *graph.Graph, delta int) []float64 {
+	out := make([]float64, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		out[v] = Sparsity(g, sq, delta, graph.NodeID(v))
+	}
+	return out
+}
+
+// Leeway returns the leeway of v under the partial coloring c: the number of
+// colors of the palette [0, paletteSize) that are not used among the
+// distance-2 neighbors of v (Section 2, "Notation").
+func Leeway(sq *graph.Graph, c coloring.Coloring, paletteSize int, v graph.NodeID) int {
+	used := make(map[int]struct{})
+	for _, u := range sq.Neighbors(v) {
+		if col := c[u]; col != coloring.Uncolored && col >= 0 && col < paletteSize {
+			used[col] = struct{}{}
+		}
+	}
+	return paletteSize - len(used)
+}
+
+// Slack returns the slack of v: leeway minus the number of live (uncolored)
+// distance-2 neighbors. A node has slack q when the number of distinct colors
+// of d2-neighbors plus the number of live d2-neighbors equals paletteSize − q.
+func Slack(sq *graph.Graph, c coloring.Coloring, paletteSize int, v graph.NodeID) int {
+	live := 0
+	used := make(map[int]struct{})
+	for _, u := range sq.Neighbors(v) {
+		col := c[u]
+		if col == coloring.Uncolored {
+			live++
+			continue
+		}
+		if col >= 0 && col < paletteSize {
+			used[col] = struct{}{}
+		}
+	}
+	return paletteSize - len(used) - live
+}
+
+// LiveD2Neighbors returns the number of uncolored distance-2 neighbors of v.
+func LiveD2Neighbors(sq *graph.Graph, c coloring.Coloring, v graph.NodeID) int {
+	live := 0
+	for _, u := range sq.Neighbors(v) {
+		if c[u] == coloring.Uncolored {
+			live++
+		}
+	}
+	return live
+}
+
+// IsSolid reports whether v is solid in the sense of Definition 2.4: its
+// leeway is at most c1·Δ² and its sparsity is at most 4e³ times its leeway.
+// c1 is passed in because the algorithm parameters expose it.
+func IsSolid(g *graph.Graph, sq *graph.Graph, c coloring.Coloring, delta int, c1 float64, v graph.NodeID) bool {
+	const fourECubed = 4 * 2.718281828459045 * 2.718281828459045 * 2.718281828459045
+	paletteSize := delta*delta + 1
+	lw := Leeway(sq, c, paletteSize, v)
+	if float64(lw) > c1*float64(delta*delta) {
+		return false
+	}
+	zeta := Sparsity(g, sq, delta, v)
+	return zeta <= fourECubed*float64(lw)
+}

@@ -1,0 +1,323 @@
+// Package trial implements the distributed "try a random color" primitive of
+// the paper (Section 2.2) on top of the CONGEST simulator.
+//
+// Recall what trying a color means: the node sends the candidate color to all
+// its immediate neighbors, who report back whether they or any of their own
+// neighbors are using (or simultaneously proposing) that color. If all
+// answers are negative, the node adopts the color.
+//
+// Each trial phase costs three simulated rounds:
+//
+//	round 3t   (propose): live, active nodes broadcast their candidate color;
+//	                      nodes that adopted a color in the previous phase
+//	                      broadcast the adoption so neighbors stay up to date;
+//	round 3t+1 (answer):  every node answers each proposing neighbor whether
+//	                      the candidate conflicts with its own color/proposal,
+//	                      any of its neighbors' colors, or another proposal it
+//	                      received this phase;
+//	round 3t+2 (adopt):   proposers that received only negative answers adopt.
+//
+// The primitive is exactly the building block of: Step 2 of d2-Color, the
+// FinishColoring subroutine, the (1+ε)Δ²-palette baseline, and the
+// Johansson-style (Δ+1)-coloring baseline on G (with distance-1 conflict
+// checking).
+package trial
+
+import (
+	"fmt"
+
+	"d2color/internal/coloring"
+	"d2color/internal/congest"
+	"d2color/internal/graph"
+	"d2color/internal/rng"
+)
+
+// Scope selects which conflicts invalidate a trial.
+type Scope int
+
+// Conflict scopes.
+const (
+	// ScopeDistance2 rejects a candidate used or proposed within distance 2
+	// (the d2-coloring setting).
+	ScopeDistance2 Scope = iota + 1
+	// ScopeDistance1 rejects a candidate used or proposed by an immediate
+	// neighbor only (the ordinary coloring setting).
+	ScopeDistance1
+)
+
+// Picker chooses the candidate color a live node tries in one phase.
+// available is the node's current view of colors not known to conflict (for
+// the plain algorithm this is simply the full palette). Returning a negative
+// color means "stay quiet this phase".
+type Picker func(v graph.NodeID, src *rng.Source, paletteSize int) int
+
+// UniformPicker tries a uniform random color from the full palette.
+func UniformPicker(v graph.NodeID, src *rng.Source, paletteSize int) int {
+	if paletteSize <= 0 {
+		return -1
+	}
+	return src.Intn(paletteSize)
+}
+
+// Config controls a trial run.
+type Config struct {
+	// PaletteSize is the number of colors, [0, PaletteSize).
+	PaletteSize int
+	// Scope selects distance-1 or distance-2 conflict checking.
+	Scope Scope
+	// MaxPhases bounds the number of phases; 0 means run until complete (with
+	// the simulator's round limit as a backstop).
+	MaxPhases int
+	// ActiveProbability is the probability that a live node participates in a
+	// phase; 0 means 1 (always active).
+	ActiveProbability float64
+	// Picker chooses candidate colors; nil means UniformPicker.
+	Picker Picker
+	// AvoidKnownUsed makes live nodes draw their candidate uniformly from the
+	// colors not known (from received adoption notifications) to be used by a
+	// neighbor, falling back to the whole palette when no such color remains.
+	// This is the classical simple algorithm for ordinary coloring ([19, 9]
+	// in the paper), where a node can afford to track its neighbors' colors;
+	// the distance-2 algorithms deliberately do not use it (Section 2.1).
+	// Ignored when a custom Picker is supplied.
+	AvoidKnownUsed bool
+	// Seed seeds the per-node randomness.
+	Seed uint64
+	// Parallel runs the underlying simulator with the goroutine engine.
+	Parallel bool
+	// Initial is an optional partial coloring to start from; nodes already
+	// colored in it never participate. It is not modified.
+	Initial coloring.Coloring
+}
+
+// Result reports the outcome of a trial run.
+type Result struct {
+	Coloring coloring.Coloring
+	Phases   int
+	Metrics  congest.Metrics
+	Complete bool
+}
+
+// message payloads.
+type (
+	proposeMsg struct{ Color int }
+	adoptMsg   struct{ Color int }
+	answerMsg  struct {
+		Color    int
+		Conflict bool
+	}
+)
+
+// process is the per-node state machine.
+type process struct {
+	cfg       *Config
+	color     int
+	nbrColors map[graph.NodeID]int
+	proposal  int  // candidate this phase, -1 if none
+	announced bool // adoption already broadcast
+	phases    int
+}
+
+// Run executes trial phases on g until the coloring is complete or the phase
+// budget is exhausted.
+func Run(g *graph.Graph, cfg Config) (Result, error) {
+	if cfg.PaletteSize <= 0 {
+		return Result{}, fmt.Errorf("trial: palette size must be positive, got %d", cfg.PaletteSize)
+	}
+	if cfg.Scope == 0 {
+		cfg.Scope = ScopeDistance2
+	}
+	if cfg.ActiveProbability <= 0 || cfg.ActiveProbability > 1 {
+		cfg.ActiveProbability = 1
+	}
+
+	n := g.NumNodes()
+	net := congest.NewNetwork(g, congest.Config{Seed: cfg.Seed, Parallel: cfg.Parallel})
+	procs := make([]*process, n)
+	for v := 0; v < n; v++ {
+		p := &process{cfg: &cfg, color: coloring.Uncolored, proposal: -1,
+			nbrColors: make(map[graph.NodeID]int, g.Degree(graph.NodeID(v)))}
+		if cfg.Initial != nil && cfg.Initial[v] != coloring.Uncolored {
+			p.color = cfg.Initial[v]
+			p.announced = false // will announce in the first propose round
+		}
+		procs[v] = p
+		net.SetProcess(graph.NodeID(v), p)
+	}
+
+	maxPhases := cfg.MaxPhases
+	if maxPhases <= 0 {
+		maxPhases = 4*n + 64 // generous completion backstop
+	}
+	phases := 0
+	for ; phases < maxPhases; phases++ {
+		done := true
+		for _, p := range procs {
+			if p.color == coloring.Uncolored {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		net.RunRounds(3)
+	}
+
+	out := coloring.New(n)
+	complete := true
+	for v, p := range procs {
+		out[v] = p.color
+		if p.color == coloring.Uncolored {
+			complete = false
+		}
+	}
+	return Result{Coloring: out, Phases: phases, Metrics: net.Metrics(), Complete: complete}, nil
+}
+
+// Step implements congest.Process. The process never "halts" in the
+// simulator's sense because colored nodes still answer queries; termination
+// is driven by the phase loop in Run.
+func (p *process) Step(ctx *congest.Context, round int, inbox []congest.Message) bool {
+	switch round % 3 {
+	case 0:
+		p.stepPropose(ctx, inbox)
+	case 1:
+		p.stepAnswer(ctx, inbox)
+	case 2:
+		p.stepAdopt(ctx, inbox)
+	}
+	return false
+}
+
+// stepPropose records adoption notifications from the previous phase and
+// broadcasts this node's candidate (if live and active) or its fresh adoption.
+func (p *process) stepPropose(ctx *congest.Context, inbox []congest.Message) {
+	p.recordAdoptions(inbox)
+	p.proposal = -1
+	if p.color != coloring.Uncolored {
+		if !p.announced {
+			ctx.Broadcast(adoptMsg{Color: p.color})
+			p.announced = true
+		}
+		return
+	}
+	if p.cfg.ActiveProbability < 1 && !ctx.Rand().Bernoulli(p.cfg.ActiveProbability) {
+		return
+	}
+	var cand int
+	if p.cfg.AvoidKnownUsed && p.cfg.Picker == nil {
+		cand = p.pickAvoidingKnown(ctx)
+	} else {
+		picker := p.cfg.Picker
+		if picker == nil {
+			picker = UniformPicker
+		}
+		cand = picker(ctx.NodeID(), ctx.Rand(), p.cfg.PaletteSize)
+	}
+	if cand < 0 || cand >= p.cfg.PaletteSize {
+		return
+	}
+	p.proposal = cand
+	ctx.Broadcast(proposeMsg{Color: cand})
+	// A node with no neighbors has nobody to object; it can adopt directly.
+	if ctx.Degree() == 0 {
+		p.color = cand
+		p.announced = true
+	}
+}
+
+// stepAnswer answers every proposing neighbor. For distance-2 scope a
+// candidate conflicts if it equals this node's color or proposal, any of this
+// node's other neighbors' colors, or another proposal received this phase.
+// For distance-1 scope only this node's own color and proposal count.
+func (p *process) stepAnswer(ctx *congest.Context, inbox []congest.Message) {
+	p.recordAdoptions(inbox)
+	proposals := make(map[graph.NodeID]int, len(inbox))
+	colorProposedBy := make(map[int]int) // candidate color -> number of proposers among neighbors
+	for _, m := range inbox {
+		if pr, ok := m.Payload.(proposeMsg); ok {
+			proposals[m.From] = pr.Color
+			colorProposedBy[pr.Color]++
+		}
+	}
+	for from, cand := range proposals {
+		conflict := false
+		if p.color == cand || (p.proposal == cand && p.color == coloring.Uncolored) {
+			conflict = true
+		}
+		if p.cfg.Scope == ScopeDistance2 && !conflict {
+			// Another neighbor of this node proposed the same color: the two
+			// proposers are at distance <= 2 through us.
+			if colorProposedBy[cand] > 1 {
+				conflict = true
+			}
+			if !conflict {
+				for nbr, col := range p.nbrColors {
+					if nbr != from && col == cand {
+						conflict = true
+						break
+					}
+				}
+			}
+		}
+		_ = ctx.Send(from, answerMsg{Color: cand, Conflict: conflict})
+	}
+}
+
+// stepAdopt adopts the proposal if every neighbor answered "no conflict".
+func (p *process) stepAdopt(ctx *congest.Context, inbox []congest.Message) {
+	if p.proposal < 0 || p.color != coloring.Uncolored {
+		return
+	}
+	answers := 0
+	for _, m := range inbox {
+		if a, ok := m.Payload.(answerMsg); ok && a.Color == p.proposal {
+			answers++
+			if a.Conflict {
+				p.proposal = -1
+				return
+			}
+		}
+	}
+	if answers == ctx.Degree() {
+		p.color = p.proposal
+		p.announced = false // broadcast in the next propose round
+	}
+	p.proposal = -1
+}
+
+// pickAvoidingKnown draws a uniform candidate among the palette colors not
+// known to be used by a neighbor; if every color is known used (impossible
+// for a (Δ+1)-sized palette), it falls back to the whole palette.
+func (p *process) pickAvoidingKnown(ctx *congest.Context) int {
+	used := make(map[int]struct{}, len(p.nbrColors))
+	for _, c := range p.nbrColors {
+		if c >= 0 && c < p.cfg.PaletteSize {
+			used[c] = struct{}{}
+		}
+	}
+	free := p.cfg.PaletteSize - len(used)
+	if free <= 0 {
+		return ctx.Rand().Intn(p.cfg.PaletteSize)
+	}
+	idx := ctx.Rand().Intn(free)
+	for c := 0; c < p.cfg.PaletteSize; c++ {
+		if _, ok := used[c]; ok {
+			continue
+		}
+		if idx == 0 {
+			return c
+		}
+		idx--
+	}
+	return ctx.Rand().Intn(p.cfg.PaletteSize)
+}
+
+func (p *process) recordAdoptions(inbox []congest.Message) {
+	for _, m := range inbox {
+		if a, ok := m.Payload.(adoptMsg); ok {
+			p.nbrColors[m.From] = a.Color
+		}
+	}
+}

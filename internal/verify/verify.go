@@ -1,0 +1,158 @@
+// Package verify is the correctness oracle for colorings: it checks
+// distance-1 and distance-2 validity, completeness and palette bounds. Every
+// test and every experiment run passes its output through these checks, so a
+// bug in an algorithm cannot silently produce an invalid result.
+package verify
+
+import (
+	"fmt"
+
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+)
+
+// Violation describes a single constraint violation found by a check.
+type Violation struct {
+	Kind string       // "uncolored", "conflict-d1", "conflict-d2", "palette"
+	U, V graph.NodeID // offending node(s); V is -1 for single-node violations
+	Info string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: u=%d v=%d %s", v.Kind, v.U, v.V, v.Info)
+}
+
+// Report is the outcome of a verification pass.
+type Report struct {
+	Valid      bool
+	Violations []Violation
+	ColorsUsed int
+	MaxColor   int
+}
+
+// Error returns nil if the report is valid, otherwise an error summarizing
+// the first violation and the violation count.
+func (r Report) Error() error {
+	if r.Valid {
+		return nil
+	}
+	first := ""
+	if len(r.Violations) > 0 {
+		first = r.Violations[0].String()
+	}
+	return fmt.Errorf("verify: %d violation(s), first: %s", len(r.Violations), first)
+}
+
+// maxViolations bounds how many violations a report records, so that a badly
+// broken coloring does not produce an enormous report.
+const maxViolations = 64
+
+// CheckD2 verifies that c is a complete, valid distance-2 coloring of g with
+// all colors inside [0, paletteSize). Pass paletteSize <= 0 to skip the
+// palette bound check.
+func CheckD2(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
+	return check(g, c, paletteSize, true)
+}
+
+// CheckD1 verifies that c is a complete, valid (distance-1) vertex coloring
+// of g with all colors inside [0, paletteSize). Pass paletteSize <= 0 to skip
+// the palette bound check.
+func CheckD1(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
+	return check(g, c, paletteSize, false)
+}
+
+// CheckPartialD2 verifies that the colored subset of c has no distance-2
+// conflicts (uncolored nodes are allowed). This is the invariant maintained
+// at every intermediate step of every algorithm.
+func CheckPartialD2(g *graph.Graph, c coloring.Coloring) Report {
+	rep := Report{Valid: true}
+	if len(c) != g.NumNodes() {
+		rep.addViolation(Violation{Kind: "palette", U: -1, V: -1,
+			Info: fmt.Sprintf("coloring has %d entries for %d nodes", len(c), g.NumNodes())})
+		return rep
+	}
+	checkConflicts(g, c, true, &rep)
+	fillColorStats(c, &rep)
+	return rep
+}
+
+func check(g *graph.Graph, c coloring.Coloring, paletteSize int, dist2 bool) Report {
+	rep := Report{Valid: true}
+	if len(c) != g.NumNodes() {
+		rep.addViolation(Violation{Kind: "palette", U: -1, V: -1,
+			Info: fmt.Sprintf("coloring has %d entries for %d nodes", len(c), g.NumNodes())})
+		return rep
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		col := c[u]
+		if col == coloring.Uncolored {
+			rep.addViolation(Violation{Kind: "uncolored", U: graph.NodeID(u), V: -1, Info: "node has no color"})
+			continue
+		}
+		if col < 0 || (paletteSize > 0 && col >= paletteSize) {
+			rep.addViolation(Violation{Kind: "palette", U: graph.NodeID(u), V: -1,
+				Info: fmt.Sprintf("color %d outside palette [0,%d)", col, paletteSize)})
+		}
+	}
+	checkConflicts(g, c, dist2, &rep)
+	fillColorStats(c, &rep)
+	return rep
+}
+
+// checkConflicts finds colored node pairs at distance 1 (and, if dist2, also
+// distance 2) sharing a color.
+func checkConflicts(g *graph.Graph, c coloring.Coloring, dist2 bool, rep *Report) {
+	for u := 0; u < g.NumNodes(); u++ {
+		cu := c[u]
+		if cu == coloring.Uncolored {
+			continue
+		}
+		if dist2 {
+			// A d2-coloring is equivalent to: for every node w, all colored
+			// nodes in {w} ∪ N(w) have distinct colors. Checking that form
+			// costs O(Σ deg²) rather than materializing G².
+			continue
+		}
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if int(v) > u && c[v] == cu {
+				rep.addViolation(Violation{Kind: "conflict-d1", U: graph.NodeID(u), V: v,
+					Info: fmt.Sprintf("both have color %d", cu)})
+			}
+		}
+	}
+	if !dist2 {
+		return
+	}
+	// Distance-2 check via closed-neighborhood distinctness.
+	for w := 0; w < g.NumNodes(); w++ {
+		seen := make(map[int]graph.NodeID, g.Degree(graph.NodeID(w))+1)
+		consider := func(x graph.NodeID) {
+			cx := c[x]
+			if cx == coloring.Uncolored {
+				return
+			}
+			if prev, ok := seen[cx]; ok && prev != x {
+				rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
+					Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", cx, w)})
+				return
+			}
+			seen[cx] = x
+		}
+		consider(graph.NodeID(w))
+		for _, v := range g.Neighbors(graph.NodeID(w)) {
+			consider(v)
+		}
+	}
+}
+
+func fillColorStats(c coloring.Coloring, rep *Report) {
+	rep.ColorsUsed = c.NumColorsUsed()
+	rep.MaxColor = c.MaxColor()
+}
+
+func (r *Report) addViolation(v Violation) {
+	r.Valid = false
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, v)
+	}
+}

@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+)
+
+// greedyD2 is a minimal local copy of the greedy reference coloring (the
+// baseline package depends on verify, so importing it here would be a cycle).
+func greedyD2(g *graph.Graph) coloring.Coloring {
+	sq := g.Square()
+	c := coloring.New(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		used := make(map[int]bool)
+		for _, u := range sq.Neighbors(graph.NodeID(v)) {
+			if c[u] != coloring.Uncolored {
+				used[c[u]] = true
+			}
+		}
+		col := 0
+		for used[col] {
+			col++
+		}
+		c[v] = col
+	}
+	return c
+}
+
+// Property: corrupting a valid d2-coloring by copying a distance-2
+// neighbour's color onto a node is always detected.
+func TestPropertyCorruptionDetected(t *testing.T) {
+	f := func(seed int64, pick uint16) bool {
+		g := graph.GNP(35, 0.12, seed)
+		c := greedyD2(g)
+		if !CheckD2(g, c, 0).Valid {
+			return false // greedy must be valid
+		}
+		sq := g.Square()
+		// Find a node with at least one d2-neighbour and copy that
+		// neighbour's color onto it.
+		v := int(pick) % g.NumNodes()
+		for i := 0; i < g.NumNodes(); i++ {
+			cand := (v + i) % g.NumNodes()
+			nbrs := sq.Neighbors(graph.NodeID(cand))
+			if len(nbrs) == 0 {
+				continue
+			}
+			c[cand] = c[nbrs[int(pick)%len(nbrs)]]
+			return !CheckD2(g, c, 0).Valid
+		}
+		return true // edgeless graph: nothing to corrupt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing a node's color is always detected by the complete check
+// and never by the partial check (which allows uncolored nodes).
+func TestPropertyUncoloredDetectedOnlyByCompleteCheck(t *testing.T) {
+	f := func(seed int64, pick uint16) bool {
+		g := graph.GNP(30, 0.1, seed)
+		if g.NumNodes() == 0 {
+			return true
+		}
+		c := greedyD2(g)
+		v := int(pick) % g.NumNodes()
+		c[v] = coloring.Uncolored
+		return !CheckD2(g, c, 0).Valid && CheckPartialD2(g, c).Valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
