@@ -136,7 +136,7 @@ func BenchmarkNaiveBaseline(b *testing.B) {
 	g := graph.GNPWithAverageDegree(512, 16, 5)
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		res, err := baseline.NaiveD2(g, uint64(i+1))
+		res, err := baseline.NaiveD2(g, baseline.Options{Seed: uint64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -298,7 +298,7 @@ func BenchmarkCongestBroadcastRound(b *testing.B) {
 	g := graph.GNPWithAverageDegree(2000, 16, 11)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := baseline.JohanssonD1(g, uint64(i+1))
+		res, err := baseline.JohanssonD1(g, baseline.Options{Seed: uint64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -29,16 +29,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		quick  = fs.Bool("quick", false, "run reduced sweeps")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		reps   = fs.Int("reps", 0, "repetitions for randomized measurements (0 = default)")
-		only   = fs.String("only", "", "comma-separated experiment IDs (default: all)")
-		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files")
+		quick    = fs.Bool("quick", false, "run reduced sweeps")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		reps     = fs.Int("reps", 0, "repetitions for randomized measurements (0 = default)")
+		only     = fs.String("only", "", "comma-separated experiment IDs (default: all)")
+		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
+		parallel = fs.Bool("parallel", false, "run simulations on the sharded-parallel CONGEST engine (identical tables, different wall clock)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := harness.Config{Quick: *quick, Seed: *seed, Repetitions: *reps}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Repetitions: *reps, Parallel: *parallel}
 
 	wanted := map[string]bool{}
 	if *only != "" {

@@ -1,0 +1,3 @@
+module d2color
+
+go 1.24

@@ -33,6 +33,21 @@ type Result struct {
 	Algorithm   string
 }
 
+// Options configures the simulated baselines (the greedy baselines take no
+// options: they are sequential reference algorithms with zero communication).
+type Options struct {
+	// Seed drives the per-node randomness.
+	Seed uint64
+	// Epsilon is the palette slack of RelaxedD2 (ignored by the others);
+	// negative values are treated as 0.
+	Epsilon float64
+	// Parallel runs the underlying simulator on the sharded-parallel engine
+	// (byte-deterministic with the sequential one).
+	Parallel bool
+	// Workers bounds the sharded engine's goroutine pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
 // GreedyD2 colors G² sequentially in node order, always choosing the smallest
 // color not used within distance 2. It uses at most Δ(G²)+1 ≤ Δ²+1 colors and
 // zero communication rounds; it is the correctness and color-count reference.
@@ -81,13 +96,15 @@ func GreedyD1(g *graph.Graph) Result {
 // JohanssonD1 runs the simple randomized (Δ+1)-coloring of G on the CONGEST
 // simulator: in every phase each uncolored node tries a uniformly random
 // color and keeps it if no neighbor uses or simultaneously tries it.
-func JohanssonD1(g *graph.Graph, seed uint64) (Result, error) {
+func JohanssonD1(g *graph.Graph, opts Options) (Result, error) {
 	palette := g.MaxDegree() + 1
 	res, err := trial.Run(g, trial.Config{
 		PaletteSize:    palette,
 		Scope:          trial.ScopeDistance1,
-		Seed:           seed,
+		Seed:           opts.Seed,
 		AvoidKnownUsed: true,
+		Parallel:       opts.Parallel,
+		Workers:        opts.Workers,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("johansson: %w", err)
@@ -102,7 +119,8 @@ func JohanssonD1(g *graph.Graph, seed uint64) (Result, error) {
 // ceil((1+epsilon)·Δ²)+1 colors directly on G (Section 2.1's first
 // observation). It is fast but uses more colors than the paper's main
 // algorithms.
-func RelaxedD2(g *graph.Graph, epsilon float64, seed uint64) (Result, error) {
+func RelaxedD2(g *graph.Graph, opts Options) (Result, error) {
+	epsilon := opts.Epsilon
 	if epsilon < 0 {
 		epsilon = 0
 	}
@@ -111,7 +129,9 @@ func RelaxedD2(g *graph.Graph, epsilon float64, seed uint64) (Result, error) {
 	res, err := trial.Run(g, trial.Config{
 		PaletteSize: palette,
 		Scope:       trial.ScopeDistance2,
-		Seed:        seed,
+		Seed:        opts.Seed,
+		Parallel:    opts.Parallel,
+		Workers:     opts.Workers,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("relaxed-d2: %w", err)
@@ -131,7 +151,7 @@ func RelaxedD2(g *graph.Graph, epsilon float64, seed uint64) (Result, error) {
 // The returned metrics contain the charged G-rounds (simulated G²-rounds ×
 // Δ); the simulated rounds of the inner run are reported as G²-rounds via the
 // Rounds field of the inner metrics and folded into ChargedRounds here.
-func NaiveD2(g *graph.Graph, seed uint64) (Result, error) {
+func NaiveD2(g *graph.Graph, opts Options) (Result, error) {
 	sq := g.Square()
 	palette := sq.MaxDegree() + 1
 	if palette < 1 {
@@ -140,7 +160,9 @@ func NaiveD2(g *graph.Graph, seed uint64) (Result, error) {
 	res, err := trial.Run(sq, trial.Config{
 		PaletteSize: palette,
 		Scope:       trial.ScopeDistance1, // distance-1 on G² is distance-2 on G
-		Seed:        seed,
+		Seed:        opts.Seed,
+		Parallel:    opts.Parallel,
+		Workers:     opts.Workers,
 		// The whole point of paying the Δ-factor simulation is that nodes can
 		// track their G²-neighbors' colors, so the simple algorithm picks
 		// among colors it has not seen used.

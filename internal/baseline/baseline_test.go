@@ -54,7 +54,7 @@ func TestGreedyD2UsesAtMostSquareDegreePlusOne(t *testing.T) {
 
 func TestJohanssonD1(t *testing.T) {
 	g := graph.GNP(90, 0.07, 2)
-	res, err := JohanssonD1(g, 11)
+	res, err := JohanssonD1(g, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestJohanssonD1(t *testing.T) {
 
 func TestRelaxedD2(t *testing.T) {
 	g := graph.CliqueChain(5, 5, 0)
-	res, err := RelaxedD2(g, 1.0, 3)
+	res, err := RelaxedD2(g, Options{Seed: 3, Epsilon: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestRelaxedD2(t *testing.T) {
 		t.Errorf("invalid coloring: %v", rep.Error())
 	}
 	// Negative epsilon clamps to 0.
-	res2, err := RelaxedD2(graph.Star(6), -1, 3)
+	res2, err := RelaxedD2(graph.Star(6), Options{Seed: 3, Epsilon: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRelaxedD2(t *testing.T) {
 
 func TestNaiveD2(t *testing.T) {
 	g := graph.GNP(60, 0.08, 5)
-	res, err := NaiveD2(g, 9)
+	res, err := NaiveD2(g, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +116,11 @@ func TestNaiveD2ChargesGrowWithDelta(t *testing.T) {
 	// faster than logarithmically. Compare two average degrees.
 	lo := graph.GNPWithAverageDegree(300, 4, 1)
 	hi := graph.GNPWithAverageDegree(300, 16, 1)
-	resLo, err := NaiveD2(lo, 1)
+	resLo, err := NaiveD2(lo, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resHi, err := NaiveD2(hi, 1)
+	resHi, err := NaiveD2(hi, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +132,11 @@ func TestNaiveD2ChargesGrowWithDelta(t *testing.T) {
 
 func TestBaselinesDeterministic(t *testing.T) {
 	g := graph.GNP(40, 0.1, 4)
-	a, err := NaiveD2(g, 21)
+	a, err := NaiveD2(g, Options{Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NaiveD2(g, 21)
+	b, err := NaiveD2(g, Options{Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}

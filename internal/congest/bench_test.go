@@ -1,0 +1,85 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"d2color/internal/graph"
+)
+
+// benchGraph is the workload the delivery benchmarks run on: a 10k-node
+// random graph with average degree 12, the scale the experiment sweeps target.
+func benchGraph() *graph.Graph {
+	return graph.GNPWithAverageDegree(10_000, 12, 42)
+}
+
+// BenchmarkDeliver measures one full simulator round (step + delivery) of an
+// all-neighbours broadcast on a 10k-node random graph. The broadcast
+// saturates every directed edge with one message per round, which makes the
+// benchmark a direct probe of the message plane's per-round overhead: inbox
+// assembly, bandwidth accounting and context management.
+func BenchmarkDeliver(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "engine=sequential"
+		if parallel {
+			name = "engine=sharded"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := benchGraph()
+			net := New(g, Config{Seed: 1, Parallel: parallel})
+			net.SetProcesses(func(v graph.NodeID) Process {
+				return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+					// Small payload values stay in the runtime's static box
+					// cache, so the benchmark measures the plane, not
+					// interface boxing.
+					ctx.Broadcast(uint64(round & 1))
+					return false
+				})
+			})
+			// Warm one round so one-time buffer growth is outside the
+			// measured loop.
+			net.RunRounds(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.RunRounds(1)
+			}
+		})
+	}
+}
+
+// BenchmarkDeliverSparse measures a round where only a small fraction of the
+// nodes speak, the regime of the later phases of the coloring algorithms
+// (most nodes are already colored and quiet).
+func BenchmarkDeliverSparse(b *testing.B) {
+	g := benchGraph()
+	net := New(g, Config{Seed: 1})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			if v%100 == 0 {
+				ctx.Broadcast(uint64(round & 1))
+			}
+			return false
+		})
+	})
+	net.RunRounds(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunRounds(1)
+	}
+}
+
+// BenchmarkEdgeIndex measures building the CSR edge index for graphs of
+// growing size (paid once per topology, amortized across every round).
+func BenchmarkEdgeIndex(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := graph.GNPWithAverageDegree(n, 12, 7)
+				_ = g.EdgeIndex()
+			}
+		})
+	}
+}

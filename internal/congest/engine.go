@@ -1,0 +1,186 @@
+package congest
+
+import (
+	"runtime"
+	"sync"
+
+	"d2color/internal/graph"
+)
+
+// Engine is one CONGEST simulation instance: a topology, a process per node,
+// and the accumulated metrics. New returns the implementation selected by
+// Config (sequential or sharded-parallel); the two are byte-deterministic
+// with respect to each other — same colorings, same message orders, same
+// Metrics for the same Config.Seed.
+//
+// An Engine is not safe for concurrent use by multiple goroutines; the
+// sharded engine synchronizes internally.
+type Engine interface {
+	// Graph returns the topology.
+	Graph() *graph.Graph
+	// Name identifies the engine implementation ("sequential" or "sharded").
+	Name() string
+	// SetProcess installs the process for one node.
+	SetProcess(v graph.NodeID, p Process)
+	// SetProcesses installs a process for every node using the factory.
+	SetProcesses(factory func(v graph.NodeID) Process)
+	// Run executes rounds until every process has halted, returning the
+	// number of simulated rounds. It returns ErrRoundLimit if the configured
+	// limit is hit and ErrNoProcess if some node has no process installed.
+	Run() (int, error)
+	// RunRounds executes exactly k rounds (halted processes are not stepped).
+	RunRounds(k int)
+	// Round returns the number of simulated rounds executed so far.
+	Round() int
+	// Metrics returns the metrics accumulated so far.
+	Metrics() Metrics
+	// ID returns the model identifier assigned to node v.
+	ID(v graph.NodeID) uint64
+	// ChargeRounds accounts k additional rounds for a pipelined sub-protocol
+	// that is not simulated message-by-message. Negative charges are ignored.
+	ChargeRounds(k int)
+	// AllHalted reports whether every node with a process has halted.
+	AllHalted() bool
+}
+
+// New creates a simulation over the given topology, selecting the engine
+// implementation from cfg: the sharded-parallel engine when cfg.Parallel is
+// set, the sequential engine otherwise.
+func New(g *graph.Graph, cfg Config) Engine {
+	if cfg.Parallel {
+		return newSharded(g, cfg)
+	}
+	return newSequential(g, cfg)
+}
+
+// sequentialEngine steps nodes and delivers messages on the calling
+// goroutine, in node order.
+type sequentialEngine struct {
+	engineCore
+}
+
+func newSequential(g *graph.Graph, cfg Config) *sequentialEngine {
+	e := &sequentialEngine{engineCore: newEngineCore(g, cfg)}
+	e.initContexts()
+	return e
+}
+
+func (e *sequentialEngine) Name() string { return "sequential" }
+
+func (e *sequentialEngine) Run() (int, error) { return e.run(e.step) }
+
+func (e *sequentialEngine) RunRounds(k int) {
+	for i := 0; i < k; i++ {
+		e.step()
+	}
+}
+
+// step executes one synchronous round: compute, account, deliver, advance.
+func (e *sequentialEngine) step() {
+	c := &e.engineCore
+	for v := range c.procs {
+		if c.procs[v] == nil || c.halted[v] {
+			continue
+		}
+		c.halted[v] = c.procs[v].Step(&c.ctxs[v], c.round, c.inboxes[v])
+	}
+	c.collectSendCounters()
+	c.deliverRange(0, c.g.NumNodes(), &c.metrics)
+	c.finishRound()
+}
+
+// shardedEngine runs the compute phase and the delivery phase on a pool of
+// goroutines, sharded by node. Determinism relies on ownership: a node's
+// step writes only its own state and its own out-slots of the message plane,
+// and delivery for a destination reads the plane (frozen after compute) and
+// writes only that destination's inbox. Shard-local bandwidth metrics are
+// merged in shard order, and all merges are commutative (sums and maxima),
+// so the result is byte-identical to the sequential engine.
+type shardedEngine struct {
+	engineCore
+	workers      int
+	shardMetrics []Metrics
+}
+
+func newSharded(g *graph.Graph, cfg Config) *shardedEngine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if n := g.NumNodes(); workers > n && n > 0 {
+		workers = n
+	}
+	e := &shardedEngine{
+		engineCore:   newEngineCore(g, cfg),
+		workers:      workers,
+		shardMetrics: make([]Metrics, workers),
+	}
+	e.initContexts()
+	return e
+}
+
+func (e *shardedEngine) Name() string { return "sharded" }
+
+func (e *shardedEngine) Run() (int, error) { return e.run(e.step) }
+
+func (e *shardedEngine) RunRounds(k int) {
+	for i := 0; i < k; i++ {
+		e.step()
+	}
+}
+
+// forEachShard invokes f(w, lo, hi) concurrently over contiguous node ranges
+// and waits for all shards to finish.
+func (e *shardedEngine) forEachShard(f func(w, lo, hi int)) {
+	n := e.g.NumNodes()
+	chunk := (n + e.workers - 1) / e.workers
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// step executes one synchronous round with both phases sharded by node.
+func (e *shardedEngine) step() {
+	c := &e.engineCore
+
+	// Compute phase: nodes step concurrently; each writes only its own
+	// halted flag, context counters and out-slots.
+	e.forEachShard(func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if c.procs[v] == nil || c.halted[v] {
+				continue
+			}
+			c.halted[v] = c.procs[v].Step(&c.ctxs[v], c.round, c.inboxes[v])
+		}
+	})
+	c.collectSendCounters()
+
+	// Delivery phase: sharded by destination node. The plane is read-only
+	// now, and shard w writes only inboxes[lo:hi) and shardMetrics[w].
+	e.forEachShard(func(w, lo, hi int) {
+		e.shardMetrics[w] = Metrics{}
+		c.deliverRange(lo, hi, &e.shardMetrics[w])
+	})
+	for w := range e.shardMetrics {
+		sm := &e.shardMetrics[w]
+		if sm.MaxEdgeWordsPerRound > c.metrics.MaxEdgeWordsPerRound {
+			c.metrics.MaxEdgeWordsPerRound = sm.MaxEdgeWordsPerRound
+		}
+		c.metrics.BandwidthViolations += sm.BandwidthViolations
+	}
+	c.finishRound()
+}

@@ -10,9 +10,16 @@
 //
 // The simulator offers:
 //
-//   - a sequential, fully deterministic engine and a parallel engine that
-//     runs the per-node state machines on a pool of goroutines (one of the
-//     natural fits between the model and Go's concurrency primitives);
+//   - two engine implementations behind the Engine interface, selected by
+//     Config: a sequential engine and a sharded-parallel engine that runs
+//     both the per-node state machines and message delivery on a pool of
+//     goroutines, sharded by node. The two are byte-deterministic with each
+//     other (identical message orders, colorings and Metrics);
+//   - a preallocated, edge-sliced message plane: every directed edge owns a
+//     fixed slot (graph.EdgeIndex), outbox buckets and inbox buffers are
+//     reused across rounds, and inboxes arrive sorted by sender by
+//     construction — a warmed-up simulation executes rounds without
+//     allocating;
 //   - bandwidth accounting: every message declares its size in O(log n)-bit
 //     words, and the simulator records the maximum per-edge per-round load
 //     and any violations of a configured bandwidth limit;

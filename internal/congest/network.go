@@ -3,9 +3,6 @@ package congest
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"d2color/internal/graph"
 	"d2color/internal/rng"
@@ -15,6 +12,10 @@ import (
 // round with the messages delivered this round; the process sends messages
 // for the next round through the Context and returns true once it has halted.
 // A halted process is not stepped again (its neighbors may keep running).
+//
+// The inbox slice is owned by the engine and reused across rounds: it is
+// valid only for the duration of the Step call. Copy out anything that must
+// survive the round.
 type Process interface {
 	Step(ctx *Context, round int, inbox []Message) (halted bool)
 }
@@ -48,17 +49,24 @@ type Config struct {
 	// Seed is the root seed for all per-node randomness.
 	Seed uint64
 	// BandwidthWords is the number of O(log n)-bit words a node may send over
-	// one edge in one round. 0 means "account but do not limit". Violations
-	// are recorded in Metrics and the offending messages are still delivered,
-	// so an algorithm bug is observable rather than silently masked.
+	// one edge in one round. 0 means "account but do not limit". Exceeding
+	// the limit is a bandwidth violation: it is counted in
+	// Metrics.BandwidthViolations but the messages are still delivered, so an
+	// algorithm bug is observable rather than silently masked. Sends to
+	// non-neighbors are a different class of fault (protocol violations):
+	// those messages are dropped, never delivered, and counted in
+	// Metrics.ProtocolViolations (see Context.SendWords).
 	BandwidthWords int
 	// MaxRounds aborts Run with ErrRoundLimit if the protocol has not
 	// terminated. 0 means the package default (defaultMaxRounds).
 	MaxRounds int
-	// Parallel runs node steps on a goroutine pool. Results are identical to
-	// the sequential engine because processes only touch their own state.
+	// Parallel selects the sharded engine, which runs node steps and message
+	// delivery on a goroutine pool. Results are byte-identical to the
+	// sequential engine: processes only touch their own state, the message
+	// plane assigns every directed edge a fixed slot owned by its tail, and
+	// delivery is sharded by destination node.
 	Parallel bool
-	// Workers bounds the goroutine pool for the parallel engine; 0 means
+	// Workers bounds the goroutine pool of the sharded engine; 0 means
 	// GOMAXPROCS.
 	Workers int
 	// IDs selects the identifier assignment; zero value means IDSequential.
@@ -69,6 +77,11 @@ type Config struct {
 // tests and experiments.
 const defaultMaxRounds = 1_000_000
 
+// idSparseRetries bounds the random redraws IDSparseRandom performs per node
+// before falling back to a deterministic linear probe. The probe terminates
+// because the ID space is always strictly larger than n.
+const idSparseRetries = 64
+
 // Errors returned by the simulator.
 var (
 	ErrRoundLimit  = errors.New("congest: protocol did not terminate within the round limit")
@@ -76,23 +89,27 @@ var (
 	ErrNotNeighbor = errors.New("congest: attempted to send to a non-neighbor")
 )
 
-// Network is one simulation instance: a topology, a process per node, and the
-// accumulated metrics. A Network is not safe for concurrent use by multiple
-// goroutines; the parallel engine synchronizes internally.
-type Network struct {
+// engineCore is the state shared by both engine implementations: the
+// topology and its CSR edge index, the per-node processes, the preallocated
+// message plane, pooled contexts and inbox buffers, and the accumulated
+// metrics. All buffers are allocated once at construction and reused every
+// round.
+type engineCore struct {
 	g       *graph.Graph
 	cfg     Config
+	ix      *graph.EdgeIndex
+	plane   *plane
 	procs   []Process
 	halted  []bool
-	inboxes [][]Message
-	metrics Metrics
+	ctxs    []Context   // pooled, one per node, reused across rounds
+	inboxes [][]Message // pooled per-destination buffers, reused across rounds
 	ids     []uint64
 	rands   []*rng.Source
+	metrics Metrics
 	round   int
 }
 
-// NewNetwork creates a simulation over the given topology.
-func NewNetwork(g *graph.Graph, cfg Config) *Network {
+func newEngineCore(g *graph.Graph, cfg Config) engineCore {
 	n := g.NumNodes()
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = defaultMaxRounds
@@ -100,245 +117,223 @@ func NewNetwork(g *graph.Graph, cfg Config) *Network {
 	if cfg.IDs == 0 {
 		cfg.IDs = IDSequential
 	}
-	net := &Network{
+	ix := g.EdgeIndex()
+	c := engineCore{
 		g:       g,
 		cfg:     cfg,
+		ix:      ix,
+		plane:   newPlane(ix),
 		procs:   make([]Process, n),
 		halted:  make([]bool, n),
+		ctxs:    make([]Context, n),
 		inboxes: make([][]Message, n),
 		ids:     make([]uint64, n),
 		rands:   make([]*rng.Source, n),
 	}
-	net.assignIDs()
+	c.assignIDs()
 	for v := 0; v < n; v++ {
-		net.rands[v] = rng.Split(cfg.Seed, uint64(v))
+		c.rands[v] = rng.Split(cfg.Seed, uint64(v))
 	}
-	return net
+	return c
 }
 
-func (net *Network) assignIDs() {
-	n := net.g.NumNodes()
-	switch net.cfg.IDs {
+// initContexts wires the pooled contexts to their engine. Called by the
+// concrete engine constructors after the core has reached its final address.
+func (c *engineCore) initContexts() {
+	for v := range c.ctxs {
+		c.ctxs[v] = Context{
+			core: c,
+			id:   graph.NodeID(v),
+			base: c.ix.Offsets[v],
+			nbrs: c.g.Neighbors(graph.NodeID(v)),
+		}
+	}
+}
+
+func (c *engineCore) assignIDs() {
+	n := c.g.NumNodes()
+	switch c.cfg.IDs {
 	case IDRandomPermutation:
-		src := rng.Split(net.cfg.Seed, 0xC0FFEE)
+		src := rng.Split(c.cfg.Seed, 0xC0FFEE)
 		perm := src.Perm(n)
 		for v := 0; v < n; v++ {
-			net.ids[v] = uint64(perm[v]) + 1
+			c.ids[v] = uint64(perm[v]) + 1
 		}
 	case IDSparseRandom:
-		src := rng.Split(net.cfg.Seed, 0xC0FFEE)
+		src := rng.Split(c.cfg.Seed, 0xC0FFEE)
 		space := uint64(n) * uint64(n) * uint64(n)
+		if n > 0 && space/uint64(n)/uint64(n) != uint64(n) {
+			// n³ overflowed uint64; any power-of-two-ish huge space models
+			// the O(log n)-bit assumption just as well.
+			space = 1 << 62
+		}
 		if space < 1024 {
+			// Keeps the space strictly larger than n for tiny graphs, so
+			// distinct IDs always exist (and collisions stay rare).
 			space = 1024
 		}
 		seen := make(map[uint64]bool, n)
 		for v := 0; v < n; v++ {
-			for {
-				id := src.Uint64() % space
-				if !seen[id] {
-					seen[id] = true
-					net.ids[v] = id
-					break
+			id := src.Uint64() % space
+			for redraws := 0; seen[id]; redraws++ {
+				if redraws < idSparseRetries {
+					id = src.Uint64() % space
+				} else {
+					// Pathological collision streak: finish deterministically
+					// with a linear probe instead of looping on the RNG.
+					id = (id + 1) % space
 				}
 			}
+			seen[id] = true
+			c.ids[v] = id
 		}
 	default:
 		for v := 0; v < n; v++ {
-			net.ids[v] = uint64(v)
+			c.ids[v] = uint64(v)
 		}
 	}
 }
 
 // Graph returns the topology.
-func (net *Network) Graph() *graph.Graph { return net.g }
+func (c *engineCore) Graph() *graph.Graph { return c.g }
 
 // SetProcess installs the process for one node.
-func (net *Network) SetProcess(v graph.NodeID, p Process) { net.procs[v] = p }
+func (c *engineCore) SetProcess(v graph.NodeID, p Process) { c.procs[v] = p }
 
 // SetProcesses installs a process for every node using the factory.
-func (net *Network) SetProcesses(factory func(v graph.NodeID) Process) {
-	for v := 0; v < net.g.NumNodes(); v++ {
-		net.procs[v] = factory(graph.NodeID(v))
+func (c *engineCore) SetProcesses(factory func(v graph.NodeID) Process) {
+	for v := 0; v < c.g.NumNodes(); v++ {
+		c.procs[v] = factory(graph.NodeID(v))
 	}
 }
 
 // Metrics returns the metrics accumulated so far.
-func (net *Network) Metrics() Metrics {
-	m := net.metrics
-	m.HaltedNodes = net.countHalted()
+func (c *engineCore) Metrics() Metrics {
+	m := c.metrics
+	m.HaltedNodes = c.countHalted()
 	return m
 }
 
 // Round returns the number of simulated rounds executed so far.
-func (net *Network) Round() int { return net.round }
+func (c *engineCore) Round() int { return c.round }
 
 // ID returns the model identifier assigned to node v.
-func (net *Network) ID(v graph.NodeID) uint64 { return net.ids[v] }
+func (c *engineCore) ID(v graph.NodeID) uint64 { return c.ids[v] }
 
 // ChargeRounds accounts k additional rounds for a pipelined sub-protocol that
 // is not simulated message-by-message. Negative charges are ignored.
-func (net *Network) ChargeRounds(k int) {
+func (c *engineCore) ChargeRounds(k int) {
 	if k > 0 {
-		net.metrics.ChargedRounds += k
+		c.metrics.ChargedRounds += k
 	}
 }
 
 // AllHalted reports whether every node with a process has halted.
-func (net *Network) AllHalted() bool {
-	for v := range net.procs {
-		if net.procs[v] != nil && !net.halted[v] {
+func (c *engineCore) AllHalted() bool {
+	for v := range c.procs {
+		if c.procs[v] != nil && !c.halted[v] {
 			return false
 		}
 	}
 	return true
 }
 
-func (net *Network) countHalted() int {
-	c := 0
-	for _, h := range net.halted {
+func (c *engineCore) countHalted() int {
+	n := 0
+	for _, h := range c.halted {
 		if h {
-			c++
+			n++
 		}
 	}
-	return c
+	return n
 }
 
-// Run executes rounds until every process has halted, returning the number of
-// simulated rounds. It returns ErrRoundLimit if the configured limit is hit
-// and ErrNoProcess if some node has no process installed.
-func (net *Network) Run() (int, error) {
-	for v := range net.procs {
-		if net.procs[v] == nil {
-			return net.round, fmt.Errorf("%w: node %d", ErrNoProcess, v)
+// run executes rounds until every process has halted. step is the concrete
+// engine's round implementation.
+func (c *engineCore) run(step func()) (int, error) {
+	for v := range c.procs {
+		if c.procs[v] == nil {
+			return c.round, fmt.Errorf("%w: node %d", ErrNoProcess, v)
 		}
 	}
-	start := net.round
-	for !net.AllHalted() {
-		if net.round-start >= net.cfg.MaxRounds {
-			return net.round, fmt.Errorf("%w (%d rounds)", ErrRoundLimit, net.cfg.MaxRounds)
+	start := c.round
+	for !c.AllHalted() {
+		if c.round-start >= c.cfg.MaxRounds {
+			return c.round, fmt.Errorf("%w (%d rounds)", ErrRoundLimit, c.cfg.MaxRounds)
 		}
-		net.step()
+		step()
 	}
-	return net.round, nil
+	return c.round, nil
 }
 
-// RunRounds executes exactly k rounds (even if all processes have halted,
-// halted processes are simply not stepped).
-func (net *Network) RunRounds(k int) {
-	for i := 0; i < k; i++ {
-		net.step()
+// collectSendCounters folds the per-context send counters into the metrics
+// (in node order, so both engines account identically) and resets them.
+func (c *engineCore) collectSendCounters() {
+	for v := range c.ctxs {
+		ctx := &c.ctxs[v]
+		c.metrics.MessagesSent += ctx.msgs
+		c.metrics.WordsSent += ctx.words
+		c.metrics.ProtocolViolations += ctx.violations
+		ctx.msgs, ctx.words, ctx.violations = 0, 0, 0
 	}
 }
 
-// step executes one synchronous round.
-func (net *Network) step() {
-	n := net.g.NumNodes()
-	contexts := make([]*Context, n)
-	for v := 0; v < n; v++ {
-		if net.procs[v] == nil || net.halted[v] {
-			continue
-		}
-		contexts[v] = &Context{net: net, id: graph.NodeID(v)}
-	}
-
-	if net.cfg.Parallel {
-		net.stepParallel(contexts)
-	} else {
-		for v := 0; v < n; v++ {
-			if contexts[v] == nil {
+// deliverRange assembles the inboxes of destination nodes [lo, hi) from the
+// message plane and accounts per-edge bandwidth into m. Because a node's
+// incoming slots are visited in ascending neighbor order, inboxes arrive
+// sorted by sender with no per-round sort; messages from one sender keep
+// their send order. The range discipline makes the call safe to shard by
+// destination: it writes only inboxes[lo:hi] and *m, and reads the plane,
+// which is frozen between the compute and delivery phases.
+func (c *engineCore) deliverRange(lo, hi int, m *Metrics) {
+	ix, p := c.ix, c.plane
+	limit := c.cfg.BandwidthWords
+	for u := lo; u < hi; u++ {
+		inbox := c.inboxes[u][:0]
+		for e, end := ix.Offsets[u], ix.Offsets[u+1]; e < end; e++ {
+			msgs := p.fresh(ix.Rev[e])
+			if len(msgs) == 0 {
 				continue
 			}
-			net.halted[v] = net.procs[v].Step(contexts[v], net.round, net.inboxes[v])
-		}
-	}
-
-	net.deliver(contexts)
-	net.round++
-	net.metrics.Rounds = net.round
-}
-
-// stepParallel runs the per-node steps on a bounded pool of goroutines. Each
-// context owns its outbox and RNG stream, so node steps are data-race free;
-// delivery happens after all steps complete, preserving the synchronous
-// semantics and determinism.
-func (net *Network) stepParallel(contexts []*Context) {
-	workers := net.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	n := len(contexts)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				if contexts[v] == nil {
-					continue
-				}
-				net.halted[v] = net.procs[v].Step(contexts[v], net.round, net.inboxes[v])
+			inbox = append(inbox, msgs...)
+			w := 0
+			for i := range msgs {
+				w += msgs[i].words()
 			}
-		}(lo, hi)
+			if w > m.MaxEdgeWordsPerRound {
+				m.MaxEdgeWordsPerRound = w
+			}
+			if limit > 0 && w > limit {
+				m.BandwidthViolations++
+			}
+		}
+		c.inboxes[u] = inbox
 	}
-	wg.Wait()
 }
 
-// deliver collects the outboxes, applies bandwidth accounting and fills the
-// inboxes for the next round. Inboxes are sorted by sender so that the
-// parallel and sequential engines produce identical message orders.
-func (net *Network) deliver(contexts []*Context) {
-	n := net.g.NumNodes()
-	next := make([][]Message, n)
-	type edgeKey struct{ from, to graph.NodeID }
-	edgeWords := make(map[edgeKey]int)
-
-	for v := 0; v < n; v++ {
-		ctx := contexts[v]
-		if ctx == nil {
-			continue
-		}
-		net.metrics.ProtocolViolations += ctx.violations
-		for _, m := range ctx.outbox {
-			next[m.To] = append(next[m.To], m)
-			net.metrics.MessagesSent++
-			w := m.words()
-			net.metrics.WordsSent += w
-			k := edgeKey{from: m.From, to: m.To}
-			edgeWords[k] += w
-		}
-	}
-	for _, w := range edgeWords {
-		if w > net.metrics.MaxEdgeWordsPerRound {
-			net.metrics.MaxEdgeWordsPerRound = w
-		}
-		if net.cfg.BandwidthWords > 0 && w > net.cfg.BandwidthWords {
-			net.metrics.BandwidthViolations++
-		}
-	}
-	for v := 0; v < n; v++ {
-		sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
-		net.inboxes[v] = next[v]
-	}
+// finishRound advances the plane generation and the round counter after
+// delivery completes.
+func (c *engineCore) finishRound() {
+	c.plane.advance()
+	c.round++
+	c.metrics.Rounds = c.round
 }
 
 // Context is the interface a process uses to interact with the network during
-// one Step call. It is valid only for the duration of that call.
+// one Step call. Contexts are pooled by the engine (one per node, reused
+// every round); a Context value is valid only for the duration of the Step
+// call it is passed to.
 type Context struct {
-	net        *Network
-	id         graph.NodeID
-	outbox     []Message
+	core *engineCore
+	id   graph.NodeID
+	base int32          // first out-slot of this node in the edge index
+	nbrs []graph.NodeID // cached neighbor list (sorted)
+
+	// Per-round send counters, folded into the engine metrics after the
+	// compute phase. Only this node's step touches them, so the sharded
+	// engine needs no synchronization here.
+	msgs       int
+	words      int
 	violations int
 }
 
@@ -346,29 +341,29 @@ type Context struct {
 func (c *Context) NodeID() graph.NodeID { return c.id }
 
 // UID returns the model's O(log n)-bit unique identifier of this node.
-func (c *Context) UID() uint64 { return c.net.ids[c.id] }
+func (c *Context) UID() uint64 { return c.core.ids[c.id] }
 
 // N returns the number of nodes in the network (globally known, as the model
 // assumes knowledge of n or a polynomial upper bound).
-func (c *Context) N() int { return c.net.g.NumNodes() }
+func (c *Context) N() int { return c.core.g.NumNodes() }
 
 // MaxDegree returns Δ, assumed globally known (Section 2.6 "We assume ∆ is
 // known to the nodes").
-func (c *Context) MaxDegree() int { return c.net.g.MaxDegree() }
+func (c *Context) MaxDegree() int { return c.core.g.MaxDegree() }
 
 // Degree returns this node's degree.
-func (c *Context) Degree() int { return c.net.g.Degree(c.id) }
+func (c *Context) Degree() int { return len(c.nbrs) }
 
 // Neighbors returns this node's neighbor list (shared slice; do not modify).
-func (c *Context) Neighbors() []graph.NodeID { return c.net.g.Neighbors(c.id) }
+func (c *Context) Neighbors() []graph.NodeID { return c.nbrs }
 
 // NeighborUID returns the unique identifier of a neighbor. In the CONGEST
 // model a node learns its neighbors' IDs in one round; exposing the lookup
 // here models that without boilerplate in every algorithm.
-func (c *Context) NeighborUID(v graph.NodeID) uint64 { return c.net.ids[v] }
+func (c *Context) NeighborUID(v graph.NodeID) uint64 { return c.core.ids[v] }
 
 // Rand returns this node's private random stream.
-func (c *Context) Rand() *rng.Source { return c.net.rands[c.id] }
+func (c *Context) Rand() *rng.Source { return c.core.rands[c.id] }
 
 // Send queues a 1-word message to a neighbor for delivery next round. Sends
 // to non-neighbors are dropped and recorded as protocol violations.
@@ -376,20 +371,33 @@ func (c *Context) Send(to graph.NodeID, payload any) error {
 	return c.SendWords(to, payload, 1)
 }
 
-// SendWords queues a message of the given word size to a neighbor.
+// SendWords queues a message of the given word size to a neighbor. Sending
+// to a non-neighbor is a protocol violation: the message is dropped (never
+// delivered) and Metrics.ProtocolViolations is incremented. Oversized
+// messages, by contrast, are delivered and accounted as bandwidth violations
+// at delivery time (see Config.BandwidthWords).
 func (c *Context) SendWords(to graph.NodeID, payload any, words int) error {
-	if !c.net.g.HasEdge(c.id, to) {
+	e, ok := c.core.ix.Slot(c.id, to)
+	if !ok {
 		c.violations++
 		return fmt.Errorf("%w: %d → %d", ErrNotNeighbor, c.id, to)
 	}
-	c.outbox = append(c.outbox, Message{From: c.id, To: to, Payload: payload, Words: words})
+	c.core.plane.put(e, Message{From: c.id, To: to, Payload: payload, Words: words})
+	c.msgs++
+	if words <= 0 {
+		words = 1
+	}
+	c.words += words
 	return nil
 }
 
-// Broadcast sends the same payload to every neighbor (1 word each).
+// Broadcast sends the same payload to every neighbor (1 word each). The i-th
+// neighbor's slot is addressed directly (base+i), so a broadcast does not
+// pay the per-send neighbor lookup.
 func (c *Context) Broadcast(payload any) {
-	for _, v := range c.Neighbors() {
-		// Neighbors are by construction adjacent, so Send cannot fail.
-		_ = c.Send(v, payload)
+	for i, v := range c.nbrs {
+		c.core.plane.put(c.base+int32(i), Message{From: c.id, To: v, Payload: payload, Words: 1})
 	}
+	c.msgs += len(c.nbrs)
+	c.words += len(c.nbrs)
 }

@@ -33,7 +33,7 @@ func (p *broadcastMaxProcess) Step(ctx *Context, round int, inbox []Message) boo
 
 func runBroadcastMax(t *testing.T, g *graph.Graph, cfg Config) []uint64 {
 	t.Helper()
-	net := NewNetwork(g, cfg)
+	net := New(g, cfg)
 	procs := make([]*broadcastMaxProcess, g.NumNodes())
 	diam := g.Diameter()
 	if diam < 0 {
@@ -77,7 +77,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 }
 
 func TestRunErrorsWithoutProcess(t *testing.T) {
-	net := NewNetwork(graph.Path(3), Config{})
+	net := New(graph.Path(3), Config{})
 	net.SetProcess(0, ProcessFunc(func(ctx *Context, round int, inbox []Message) bool { return true }))
 	if _, err := net.Run(); !errors.Is(err, ErrNoProcess) {
 		t.Errorf("Run = %v, want ErrNoProcess", err)
@@ -85,7 +85,7 @@ func TestRunErrorsWithoutProcess(t *testing.T) {
 }
 
 func TestRoundLimit(t *testing.T) {
-	net := NewNetwork(graph.Path(2), Config{MaxRounds: 10})
+	net := New(graph.Path(2), Config{MaxRounds: 10})
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool { return false })
 	})
@@ -99,7 +99,7 @@ func TestRoundLimit(t *testing.T) {
 
 func TestSendToNonNeighborIsViolation(t *testing.T) {
 	g := graph.Path(3) // 0-1-2; 0 and 2 are not adjacent
-	net := NewNetwork(g, Config{})
+	net := New(g, Config{})
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			if ctx.NodeID() == 0 && round == 0 {
@@ -123,7 +123,7 @@ func TestSendToNonNeighborIsViolation(t *testing.T) {
 
 func TestBandwidthAccounting(t *testing.T) {
 	g := graph.Path(2)
-	net := NewNetwork(g, Config{BandwidthWords: 2})
+	net := New(g, Config{BandwidthWords: 2})
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			if ctx.NodeID() == 0 && round == 0 {
@@ -148,7 +148,7 @@ func TestBandwidthAccounting(t *testing.T) {
 }
 
 func TestChargeRounds(t *testing.T) {
-	net := NewNetwork(graph.Path(2), Config{})
+	net := New(graph.Path(2), Config{})
 	net.ChargeRounds(7)
 	net.ChargeRounds(-3) // ignored
 	m := net.Metrics()
@@ -162,7 +162,7 @@ func TestChargeRounds(t *testing.T) {
 
 func TestRunRoundsAndHaltedNodes(t *testing.T) {
 	g := graph.Cycle(4)
-	net := NewNetwork(g, Config{})
+	net := New(g, Config{})
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			return int(ctx.NodeID())%2 == 0 // even nodes halt immediately
@@ -183,7 +183,7 @@ func TestRunRoundsAndHaltedNodes(t *testing.T) {
 func TestIDAssignments(t *testing.T) {
 	g := graph.Complete(20)
 	for _, mode := range []IDAssignment{IDSequential, IDRandomPermutation, IDSparseRandom} {
-		net := NewNetwork(g, Config{Seed: 5, IDs: mode})
+		net := New(g, Config{Seed: 5, IDs: mode})
 		seen := make(map[uint64]bool)
 		for v := 0; v < g.NumNodes(); v++ {
 			id := net.ID(graph.NodeID(v))
@@ -194,7 +194,7 @@ func TestIDAssignments(t *testing.T) {
 		}
 	}
 	// Sequential is the identity.
-	net := NewNetwork(g, Config{})
+	net := New(g, Config{})
 	if net.ID(7) != 7 {
 		t.Errorf("sequential ID(7) = %d, want 7", net.ID(7))
 	}
@@ -202,7 +202,7 @@ func TestIDAssignments(t *testing.T) {
 
 func TestContextAccessors(t *testing.T) {
 	g := graph.Star(5)
-	net := NewNetwork(g, Config{Seed: 2})
+	net := New(g, Config{Seed: 2})
 	var sawDegree, sawN, sawDelta int
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
@@ -264,7 +264,7 @@ func TestMetricsAdd(t *testing.T) {
 func TestPropertyDeliveryNextRoundSorted(t *testing.T) {
 	f := func(seed uint64) bool {
 		g := graph.Cycle(6)
-		net := NewNetwork(g, Config{Seed: seed})
+		net := New(g, Config{Seed: seed})
 		ok := true
 		net.SetProcesses(func(v graph.NodeID) Process {
 			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
@@ -299,7 +299,7 @@ func TestPropertyDeliveryNextRoundSorted(t *testing.T) {
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() Metrics {
 		g := graph.GNP(40, 0.1, 11)
-		net := NewNetwork(g, Config{Seed: 99})
+		net := New(g, Config{Seed: 99})
 		net.SetProcesses(func(v graph.NodeID) Process {
 			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 				// Random gossip: send a random value to a random neighbor.
@@ -318,5 +318,135 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Errorf("two identical runs produced different metrics:\n%v\n%v", a, b)
+	}
+}
+
+// Regression test for the Config.BandwidthWords semantics: a message
+// exceeding the bandwidth limit is a *bandwidth* violation — counted, but
+// still delivered — while a send to a non-neighbor is a *protocol*
+// violation — counted, and dropped before delivery.
+func TestViolationSemantics(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; 0 and 2 are not adjacent
+	net := New(g, Config{BandwidthWords: 2})
+	var got []Message
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			if round == 0 && ctx.NodeID() == 0 {
+				// Oversized (5 > 2 words) but to a neighbor: delivered.
+				if err := ctx.SendWords(1, "big", 5); err != nil {
+					t.Errorf("oversized send to neighbor returned %v", err)
+				}
+				// Non-neighbor: dropped.
+				if err := ctx.Send(2, "ghost"); !errors.Is(err, ErrNotNeighbor) {
+					t.Errorf("send to non-neighbor = %v, want ErrNotNeighbor", err)
+				}
+			}
+			if round == 1 && ctx.NodeID() != 0 {
+				got = append(got, inbox...)
+			}
+			return round >= 1
+		})
+	})
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0].Payload != "big" || got[0].To != 1 {
+		t.Fatalf("delivered messages = %v, want exactly the oversized message at node 1", got)
+	}
+	m := net.Metrics()
+	if m.BandwidthViolations != 1 {
+		t.Errorf("BandwidthViolations = %d, want 1", m.BandwidthViolations)
+	}
+	if m.ProtocolViolations != 1 {
+		t.Errorf("ProtocolViolations = %d, want 1", m.ProtocolViolations)
+	}
+	if m.MessagesSent != 1 || m.WordsSent != 5 {
+		t.Errorf("sent msgs=%d words=%d, want 1, 5 (dropped message must not be accounted)", m.MessagesSent, m.WordsSent)
+	}
+}
+
+// IDSparseRandom must terminate and produce distinct IDs even for tiny
+// graphs, where the n³ space collapses to the 1024 floor and random redraw
+// collisions are plausible; the assignment is guarded by a retry bound with
+// a deterministic linear-probe fallback.
+func TestIDSparseRandomSmallN(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		var edges []graph.Edge
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: 0, V: graph.NodeID(v)})
+		}
+		g := graph.MustFromEdges(n, edges)
+		for seed := uint64(0); seed < 50; seed++ {
+			net := New(g, Config{Seed: seed, IDs: IDSparseRandom})
+			seen := make(map[uint64]bool, n)
+			for v := 0; v < n; v++ {
+				id := net.ID(graph.NodeID(v))
+				if seen[id] {
+					t.Fatalf("n=%d seed=%d: duplicate ID %d", n, seed, id)
+				}
+				if id >= 1024 {
+					t.Fatalf("n=%d seed=%d: ID %d outside the max(n³, 1024) space", n, seed, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+// Multiple messages over the same edge in one round must all be delivered in
+// send order (they share one slot of the message plane).
+func TestMultipleMessagesPerEdgePerRound(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g := graph.Path(2)
+		net := New(g, Config{Parallel: parallel})
+		var got []Message
+		net.SetProcesses(func(v graph.NodeID) Process {
+			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+				if round == 0 && ctx.NodeID() == 0 {
+					_ = ctx.Send(1, "first")
+					_ = ctx.Send(1, "second")
+					_ = ctx.Send(1, "third")
+				}
+				if round == 1 && ctx.NodeID() == 1 {
+					got = append(got, inbox...)
+				}
+				return round >= 1
+			})
+		})
+		if _, err := net.Run(); err != nil {
+			t.Fatalf("parallel=%v Run: %v", parallel, err)
+		}
+		if len(got) != 3 || got[0].Payload != "first" || got[1].Payload != "second" || got[2].Payload != "third" {
+			t.Fatalf("parallel=%v inbox = %v, want first/second/third in send order", parallel, got)
+		}
+	}
+}
+
+// The engines report their identity and New selects by Config.
+func TestEngineSelection(t *testing.T) {
+	g := graph.Path(2)
+	if name := New(g, Config{}).Name(); name != "sequential" {
+		t.Errorf("default engine = %q, want sequential", name)
+	}
+	if name := New(g, Config{Parallel: true}).Name(); name != "sharded" {
+		t.Errorf("parallel engine = %q, want sharded", name)
+	}
+}
+
+// A long-running simulation must reuse its buffers: after a warm-up round,
+// additional broadcast rounds on the sequential engine allocate nothing.
+func TestSteadyStateRoundsDoNotAllocate(t *testing.T) {
+	g := graph.GNP(200, 0.05, 1)
+	net := New(g, Config{Seed: 1})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			ctx.Broadcast(uint64(round & 1))
+			return false
+		})
+	})
+	net.RunRounds(2) // warm-up: buckets and inboxes grow to steady state
+	allocs := testing.AllocsPerRun(10, func() { net.RunRounds(1) })
+	if allocs > 0 {
+		t.Errorf("steady-state round allocated %.1f times, want 0", allocs)
 	}
 }

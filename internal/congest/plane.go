@@ -1,0 +1,66 @@
+package congest
+
+import "d2color/internal/graph"
+
+// plane is the preallocated, edge-sliced message plane at the heart of the
+// engine. Every directed edge of the topology owns a fixed slot (see
+// graph.EdgeIndex); a slot holds the messages sent over that edge in the
+// current round in a bucket whose backing array is reused across rounds, so
+// a warmed-up simulation sends and delivers without allocating.
+//
+// Freshness is tracked with a per-slot generation stamp instead of clearing:
+// advancing the generation at the end of a round logically empties every
+// slot in O(1). A slot's bucket is truncated lazily on its first write of a
+// round.
+//
+// Ownership discipline: only the tail node of a directed edge writes its
+// slot, and writes happen strictly before reads of the same round (the
+// engines place a barrier between the compute and delivery phases). That
+// makes the plane data-race free under the sharded engine without any
+// locking.
+type plane struct {
+	ix    *graph.EdgeIndex
+	slots [][]Message // per-slot buckets; capacity persists across rounds
+	gen   []uint32    // generation that last wrote each slot
+	cur   uint32      // generation of the round being filled
+}
+
+func newPlane(ix *graph.EdgeIndex) *plane {
+	n := ix.NumSlots()
+	return &plane{
+		ix:    ix,
+		slots: make([][]Message, n),
+		gen:   make([]uint32, n),
+		cur:   1,
+	}
+}
+
+// put appends m to slot e. Must only be called by the node owning the
+// out-slot (the edge's tail).
+func (p *plane) put(e int32, m Message) {
+	if p.gen[e] != p.cur {
+		p.gen[e] = p.cur
+		p.slots[e] = p.slots[e][:0]
+	}
+	p.slots[e] = append(p.slots[e], m)
+}
+
+// fresh returns the messages written into slot e this round, in send order,
+// or nil if the slot was not written.
+func (p *plane) fresh(e int32) []Message {
+	if p.gen[e] != p.cur {
+		return nil
+	}
+	return p.slots[e]
+}
+
+// advance starts the next round's generation, logically clearing every slot.
+func (p *plane) advance() {
+	p.cur++
+	if p.cur == 0 {
+		// uint32 wraparound (once every 2³² rounds): wipe the stamps so a
+		// slot last written 2³² rounds ago cannot alias as fresh.
+		clear(p.gen)
+		p.cur = 1
+	}
+}

@@ -60,7 +60,7 @@ func FloodMax(g *graph.Graph, cfg Config, maxRounds int) (FloodMaxResult, error)
 	if maxRounds <= 0 {
 		maxRounds = g.NumNodes()
 	}
-	net := NewNetwork(g, cfg)
+	net := New(g, cfg)
 	procs := make([]*floodMaxProcess, g.NumNodes())
 	net.SetProcesses(func(v graph.NodeID) Process {
 		procs[v] = &floodMaxProcess{rounds: maxRounds}
@@ -128,7 +128,7 @@ func BFSTree(g *graph.Graph, cfg Config, root graph.NodeID, maxRounds int) (BFST
 	if maxRounds <= 0 {
 		maxRounds = n
 	}
-	net := NewNetwork(g, cfg)
+	net := New(g, cfg)
 	procs := make([]*bfsProcess, n)
 	net.SetProcesses(func(v graph.NodeID) Process {
 		procs[v] = &bfsProcess{root: v == root, maxRound: maxRounds}
@@ -174,7 +174,7 @@ func ConvergecastSum(g *graph.Graph, cfg Config, tree BFSTreeResult, values []in
 	sums := make([]int64, n)
 	copy(sums, values)
 
-	net := NewNetwork(g, cfg)
+	net := New(g, cfg)
 	var rootTotal int64
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {

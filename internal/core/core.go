@@ -74,6 +74,14 @@ type Options struct {
 	// Epsilon is the ε used by AlgorithmPolylog and AlgorithmRelaxed;
 	// 0 means 1.
 	Epsilon float64
+	// Parallel runs the message-level simulations on the sharded-parallel
+	// CONGEST engine. The engines are byte-deterministic with each other, so
+	// this changes wall-clock time, never results. Algorithms that charge
+	// their rounds analytically instead of simulating them (polylog, greedy)
+	// are unaffected.
+	Parallel bool
+	// Workers bounds the sharded engine's goroutine pool; 0 means GOMAXPROCS.
+	Workers int
 	// RandParams overrides the randomized algorithm's constants (nil means
 	// the scaled defaults).
 	RandParams *randd2.Params
@@ -137,6 +145,8 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 			Variant:    variant,
 			Params:     opts.RandParams,
 			Seed:       opts.Seed,
+			Parallel:   opts.Parallel,
+			Workers:    opts.Workers,
 			SkipVerify: true, // verified below
 		})
 		if err != nil {
@@ -144,7 +154,7 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		}
 		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
 	case AlgorithmDeterministic:
-		r, err := detd2.Run(g, detd2.Options{Seed: opts.Seed, SkipVerify: true})
+		r, err := detd2.Run(g, detd2.Options{Seed: opts.Seed, Parallel: opts.Parallel, Workers: opts.Workers, SkipVerify: true})
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
 		}
@@ -167,13 +177,13 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		r := baseline.GreedyD2(g)
 		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
 	case AlgorithmNaive:
-		r, err := baseline.NaiveD2(g, opts.Seed)
+		r, err := baseline.NaiveD2(g, baseline.Options{Seed: opts.Seed, Parallel: opts.Parallel, Workers: opts.Workers})
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
 		}
 		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
 	case AlgorithmRelaxed:
-		r, err := baseline.RelaxedD2(g, eps, opts.Seed)
+		r, err := baseline.RelaxedD2(g, baseline.Options{Seed: opts.Seed, Epsilon: eps, Parallel: opts.Parallel, Workers: opts.Workers})
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
 		}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"d2color/internal/graph"
+)
+
+// TestEngineDeterminism asserts the headline guarantee of the sharded
+// CONGEST engine: for every algorithm, every seed and every graph family,
+// running with Options.Parallel produces byte-identical colorings and
+// identical Metrics to the sequential engine.
+func TestEngineDeterminism(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp", graph.GNPWithAverageDegree(64, 6, 3)},
+		{"grid", graph.Grid(8, 8)},
+		{"cliquechain", graph.CliqueChain(4, 5, 0)},
+	}
+	seeds := []uint64{1, 7, 42}
+	for _, fam := range families {
+		for _, algo := range Algorithms() {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%s/%s/seed=%d", fam.name, algo, seed), func(t *testing.T) {
+					seq, err := Solve(fam.g, Options{Algorithm: algo, Seed: seed})
+					if err != nil {
+						t.Fatalf("sequential: %v", err)
+					}
+					par, err := Solve(fam.g, Options{Algorithm: algo, Seed: seed, Parallel: true, Workers: 4})
+					if err != nil {
+						t.Fatalf("parallel: %v", err)
+					}
+					if len(seq.Coloring) != len(par.Coloring) {
+						t.Fatalf("coloring lengths differ: %d vs %d", len(seq.Coloring), len(par.Coloring))
+					}
+					for v := range seq.Coloring {
+						if seq.Coloring[v] != par.Coloring[v] {
+							t.Fatalf("node %d: sequential color %d, parallel color %d",
+								v, seq.Coloring[v], par.Coloring[v])
+						}
+					}
+					if seq.Metrics != par.Metrics {
+						t.Fatalf("metrics differ:\nsequential: %v\nparallel:   %v", seq.Metrics, par.Metrics)
+					}
+					if seq.PaletteSize != par.PaletteSize || seq.ColorsUsed != par.ColorsUsed {
+						t.Fatalf("palette/colors differ: (%d,%d) vs (%d,%d)",
+							seq.PaletteSize, seq.ColorsUsed, par.PaletteSize, par.ColorsUsed)
+					}
+				})
+			}
+		}
+	}
+}

@@ -36,6 +36,13 @@ type Options struct {
 	IDs congest.IDAssignment
 	// Seed is used only for the ID assignment when IDs is randomized.
 	Seed uint64
+	// Parallel selects the sharded-parallel simulator engine. The
+	// deterministic pipeline charges its rounds rather than simulating them
+	// message-by-message, so this only affects the engine construction, but
+	// it keeps the option surface uniform across the algorithm layers.
+	Parallel bool
+	// Workers bounds the sharded engine's goroutine pool; 0 means GOMAXPROCS.
+	Workers int
 	// SkipVerify disables the internal validity check (used by benchmarks
 	// that verify separately).
 	SkipVerify bool
@@ -51,7 +58,7 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	// The simulator owns ID assignment; Linial consumes the IDs as its
 	// initial coloring. IDSparseRandom produces IDs from a space of size n³,
 	// exactly the O(log n)-bit assumption.
-	net := congest.NewNetwork(g, congest.Config{Seed: opts.Seed, IDs: opts.IDs})
+	net := congest.New(g, congest.Config{Seed: opts.Seed, IDs: opts.IDs, Parallel: opts.Parallel, Workers: opts.Workers})
 	ids := make([]int, n)
 	for v := 0; v < n; v++ {
 		ids[v] = int(net.ID(graph.NodeID(v)))

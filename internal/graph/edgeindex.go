@@ -1,0 +1,88 @@
+package graph
+
+import "sort"
+
+// EdgeIndex is a CSR (compressed sparse row) view of a graph's directed edge
+// slots. Every undirected edge {u, v} contributes two directed slots, (u→v)
+// and (v→u); a slot is a stable dense integer that identifies the directed
+// edge for the lifetime of the graph. The CONGEST simulator keys its
+// preallocated per-edge message buffers and bandwidth accounting by slot, so
+// the per-round hot path never consults a map.
+//
+// The index is built lazily, once per graph (see Graph.EdgeIndex), and is
+// immutable afterwards.
+type EdgeIndex struct {
+	// Offsets has length NumNodes()+1; the out-slots of node u are
+	// Offsets[u] .. Offsets[u+1]-1, in ascending order of target.
+	Offsets []int32
+	// Targets[e] is the head of directed edge slot e. Within one source node
+	// the targets appear in the graph's (sorted) neighbor order, so the i-th
+	// neighbor of u owns slot Offsets[u]+i.
+	Targets []NodeID
+	// Rev[e] is the slot of the reverse directed edge: if slot e is (u→v),
+	// Rev[e] is (v→u). Rev is an involution: Rev[Rev[e]] == e.
+	Rev []int32
+}
+
+// maxEdgeSlots bounds the directed slot count so slots fit in int32. 2^31-1
+// slots of message buffers is far beyond what the simulator can hold in
+// memory anyway.
+const maxEdgeSlots = 1<<31 - 1
+
+// EdgeIndex returns the CSR edge index of g, building it on first use. The
+// returned index is shared and must not be modified. Safe for concurrent use.
+func (g *Graph) EdgeIndex() *EdgeIndex {
+	g.ixOnce.Do(func() { g.ix = buildEdgeIndex(g) })
+	return g.ix
+}
+
+func buildEdgeIndex(g *Graph) *EdgeIndex {
+	slots := 0
+	for u := range g.adj {
+		slots += len(g.adj[u])
+	}
+	if slots > maxEdgeSlots {
+		panic("graph: too many directed edges for an EdgeIndex")
+	}
+	ix := &EdgeIndex{
+		Offsets: make([]int32, g.n+1),
+		Targets: make([]NodeID, 0, slots),
+		Rev:     make([]int32, slots),
+	}
+	for u := 0; u < g.n; u++ {
+		ix.Offsets[u+1] = ix.Offsets[u] + int32(len(g.adj[u]))
+		ix.Targets = append(ix.Targets, g.adj[u]...)
+	}
+	for u := 0; u < g.n; u++ {
+		base := ix.Offsets[u]
+		for i, v := range g.adj[u] {
+			// The reverse slot is u's position in v's sorted neighbor list.
+			lst := g.adj[v]
+			j := sort.Search(len(lst), func(k int) bool { return lst[k] >= NodeID(u) })
+			ix.Rev[base+int32(i)] = ix.Offsets[v] + int32(j)
+		}
+	}
+	return ix
+}
+
+// NumSlots returns the number of directed edge slots (2m).
+func (ix *EdgeIndex) NumSlots() int { return len(ix.Targets) }
+
+// OutSlot returns the slot of the directed edge from u to its i-th neighbor
+// (in the graph's sorted neighbor order). i is not range-checked.
+func (ix *EdgeIndex) OutSlot(u NodeID, i int) int32 { return ix.Offsets[u] + int32(i) }
+
+// Slot returns the slot of the directed edge (u→v) and whether it exists.
+// Runs in O(log deg(u)).
+func (ix *EdgeIndex) Slot(u, v NodeID) (int32, bool) {
+	if int(u) < 0 || int(u) >= len(ix.Offsets)-1 {
+		return -1, false
+	}
+	lo, hi := ix.Offsets[u], ix.Offsets[u+1]
+	t := ix.Targets[lo:hi]
+	j := sort.Search(len(t), func(k int) bool { return t[k] >= v })
+	if j < len(t) && t[j] == v {
+		return lo + int32(j), true
+	}
+	return -1, false
+}

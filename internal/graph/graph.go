@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node of a Graph. IDs are dense: 0..NumNodes()-1.
@@ -37,6 +38,10 @@ type Graph struct {
 	adj      [][]NodeID
 	numEdges int
 	maxDeg   int
+
+	// ix is the lazily built CSR edge index (see EdgeIndex).
+	ixOnce sync.Once
+	ix     *EdgeIndex
 }
 
 // Errors returned by graph construction and queries.

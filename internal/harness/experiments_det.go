@@ -1,8 +1,6 @@
 package harness
 
 import (
-	"fmt"
-
 	"d2color/internal/detd2"
 	"d2color/internal/graph"
 	"d2color/internal/polylogd2"
@@ -28,7 +26,7 @@ func runE3(cfg Config) (*Table, error) {
 	for _, d := range ds {
 		g := graph.RandomRegular(n, d, int64(cfg.Seed)+int64(d))
 		delta := g.MaxDegree()
-		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed})
+		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +147,7 @@ func runE6(cfg Config) (*Table, error) {
 	for _, d := range ds {
 		g := graph.RandomRegular(n, d, int64(cfg.Seed)+int64(d))
 		delta := g.MaxDegree()
-		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed})
+		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +156,6 @@ func runE6(cfg Config) (*Table, error) {
 			ftoa(float64(res.Stages.LinialColors)/float64(maxI(d4, 1))),
 			itoa(res.Stages.LinialRounds), itoa(res.Stages.LinialRounds-2*delta))
 	}
-	t.AddNote(fmt.Sprintf("expected shape: Linial colors stay within a constant multiple of Δ⁴ and the log* remainder stays tiny (n = %d)", n))
+	t.AddNote("expected shape: Linial colors stay within a constant multiple of Δ⁴ and the log* remainder stays tiny (n = %d)", n)
 	return t, nil
 }

@@ -24,7 +24,7 @@ func log2f(x int) float64 {
 // worst-case colors used.
 func runRandAveraged(g *graph.Graph, variant randd2.Variant, cfg Config, reps int) (avgTotal, avgActive float64, maxColors int, sample *randd2.Result, err error) {
 	for i := 0; i < reps; i++ {
-		res, rerr := randd2.Run(g, randd2.Options{Variant: variant, Seed: cfg.Seed + uint64(i)*101})
+		res, rerr := randd2.Run(g, randd2.Options{Variant: variant, Seed: cfg.Seed + uint64(i)*101, Parallel: cfg.Parallel})
 		if rerr != nil {
 			return 0, 0, 0, nil, rerr
 		}
@@ -154,7 +154,7 @@ func runE7(cfg Config) (*Table, error) {
 	for _, n := range ns {
 		avgDeg := 0.9 * math.Sqrt(float64(n))
 		g := graph.GNPWithAverageDegree(n, avgDeg, int64(cfg.Seed)+int64(n))
-		res, err := randd2.Run(g, randd2.Options{Variant: randd2.VariantImproved, Seed: cfg.Seed, Params: &params})
+		res, err := randd2.Run(g, randd2.Options{Variant: randd2.VariantImproved, Seed: cfg.Seed, Params: &params, Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +187,7 @@ func runE8(cfg Config) (*Table, error) {
 	for _, d := range degs {
 		g := graph.GNPWithAverageDegree(n, d, int64(cfg.Seed)+int64(d*31))
 		delta := g.MaxDegree()
-		naive, err := baseline.NaiveD2(g, cfg.Seed)
+		naive, err := baseline.NaiveD2(g, baseline.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +234,7 @@ func runE9(cfg Config) (*Table, error) {
 		palette := delta*delta + 1
 		phases := int(math.Ceil(3 * log2f(g.NumNodes())))
 		res, err := trial.Run(g, trial.Config{PaletteSize: palette, Scope: trial.ScopeDistance2,
-			MaxPhases: phases, Seed: cfg.Seed})
+			MaxPhases: phases, Seed: cfg.Seed, Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, err
 		}
@@ -310,6 +310,7 @@ func runE10(cfg Config) (*Table, error) {
 			Variant:                      randd2.VariantImproved,
 			Params:                       &params,
 			Seed:                         cfg.Seed,
+			Parallel:                     cfg.Parallel,
 			DisableDeterministicFallback: true,
 		})
 		if err != nil {

@@ -22,6 +22,10 @@ type Config struct {
 	// Repetitions averages randomized measurements over this many seeds;
 	// 0 means 3 (1 in Quick mode).
 	Repetitions int
+	// Parallel runs the message-level simulations inside the experiments on
+	// the sharded-parallel CONGEST engine. The engines are byte-deterministic
+	// with each other, so the generated tables are identical either way.
+	Parallel bool
 }
 
 func (c Config) reps() int {

@@ -83,17 +83,21 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 		rand[v] = rng.Split(opts.Seed, uint64(v)+0xA11CE)
 	}
 
+	// Phase buffers are hoisted out of the loop and reused, in the same
+	// spirit as the simulator's preallocated message plane: the Luby loop
+	// runs O(log n) phases and should not churn per-phase slices.
+	priority := make([]uint64, n)
+	joined := make([]graph.NodeID, 0, n)
 	liveCount := n
 	for res.Phases = 0; res.Phases < maxPhases && liveCount > 0; res.Phases++ {
 		// Each live node draws a random priority; a node joins the set when
 		// its priority beats every live G^K-neighbour's priority (Luby).
-		priority := make([]uint64, n)
 		for v := 0; v < n; v++ {
 			if state[v] == stateLive {
 				priority[v] = rand[v].Uint64()
 			}
 		}
-		joined := make([]graph.NodeID, 0)
+		joined = joined[:0]
 		for v := 0; v < n; v++ {
 			if state[v] != stateLive {
 				continue

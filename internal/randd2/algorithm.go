@@ -44,6 +44,12 @@ type Options struct {
 	Params *Params
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallel runs the simulated sub-protocols (the step-2 trial phases and
+	// the deterministic fallback's engine) on the sharded-parallel engine.
+	// Results are byte-identical to the sequential engine.
+	Parallel bool
+	// Workers bounds the sharded engine's goroutine pool; 0 means GOMAXPROCS.
+	Workers int
 	// SkipVerify disables the internal validity check.
 	SkipVerify bool
 	// DisableDeterministicFallback forces the randomized machinery even when
@@ -100,7 +106,7 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	// Step 0: for low-degree graphs use the deterministic algorithm
 	// (Theorem 1.2), exactly as Algorithm d2-Color does.
 	if float64(delta*delta) < params.C2*log2(n) && !opts.DisableDeterministicFallback {
-		det, err := detd2.Run(g, detd2.Options{Seed: opts.Seed, SkipVerify: opts.SkipVerify})
+		det, err := detd2.Run(g, detd2.Options{Seed: opts.Seed, Parallel: opts.Parallel, Workers: opts.Workers, SkipVerify: opts.SkipVerify})
 		if err != nil {
 			return Result{}, fmt.Errorf("randd2: deterministic fallback: %w", err)
 		}
@@ -130,6 +136,8 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 		Scope:       trial.ScopeDistance2,
 		MaxPhases:   initialPhases,
 		Seed:        opts.Seed ^ 0x1234,
+		Parallel:    opts.Parallel,
+		Workers:     opts.Workers,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("randd2: initial phase: %w", err)

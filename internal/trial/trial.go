@@ -83,8 +83,11 @@ type Config struct {
 	AvoidKnownUsed bool
 	// Seed seeds the per-node randomness.
 	Seed uint64
-	// Parallel runs the underlying simulator with the goroutine engine.
+	// Parallel runs the underlying simulator on the sharded-parallel engine
+	// (byte-deterministic with the sequential one).
 	Parallel bool
+	// Workers bounds the sharded engine's goroutine pool; 0 means GOMAXPROCS.
+	Workers int
 	// Initial is an optional partial coloring to start from; nodes already
 	// colored in it never participate. It is not modified.
 	Initial coloring.Coloring
@@ -132,7 +135,7 @@ func Run(g *graph.Graph, cfg Config) (Result, error) {
 	}
 
 	n := g.NumNodes()
-	net := congest.NewNetwork(g, congest.Config{Seed: cfg.Seed, Parallel: cfg.Parallel})
+	net := congest.New(g, congest.Config{Seed: cfg.Seed, Parallel: cfg.Parallel, Workers: cfg.Workers})
 	procs := make([]*process, n)
 	for v := 0; v < n; v++ {
 		p := &process{cfg: &cfg, color: coloring.Uncolored, proposal: -1,
