@@ -49,8 +49,13 @@ func run(args []string, out io.Writer) error {
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	if *stats {
+		// Every distance-2 statistic below (Δ(G²), avg d2-degree, m(G²))
+		// comes from the streaming Dist2View — sizing a workload's square no
+		// longer materializes it.
 		st := graph.ComputeStats(g)
 		fmt.Fprintf(w, "# %s\n# %s\n", spec.String(), st.String())
+		fmt.Fprintf(w, "# d2: Δ(G²)=%d avg(G²)=%.2f m(G²)=%d palette Δ²+1=%d\n",
+			st.MaxDist2Deg, st.AvgDist2Deg, st.Dist2Edges, st.SquaredBound+1)
 	}
 	if *edges {
 		for _, e := range g.Edges() {

@@ -1,5 +1,7 @@
 // Package detcolor implements the deterministic coloring pipeline of
-// Appendix B of the paper, generically over an arbitrary conflict graph H:
+// Appendix B of the paper, generically over an arbitrary conflict graph H
+// (anything that can enumerate conflict neighborhoods — a materialized
+// *graph.Graph or a streaming *graph.Dist2View):
 //
 //  1. Linial's algorithm (Theorem B.1): from unique identifiers to an
 //     O(Δ(H)²)-coloring in O(log* n) iterations;
@@ -93,6 +95,20 @@ func (c CostModel) Scale(factor int) CostModel {
 	}
 }
 
+// ConflictGraph is the read-only view of the conflict graph H the pipeline
+// needs. *graph.Graph satisfies it directly; *graph.Dist2View satisfies it by
+// streaming distance-2 neighborhoods of the communication graph, so running
+// the pipeline on H = G² no longer materializes the square.
+//
+// Neighbors may return a slice that is reused (invalidated) by the next
+// Neighbors call on the same value; the pipeline only ever inspects one
+// neighborhood at a time.
+type ConflictGraph interface {
+	NumNodes() int
+	MaxDegree() int
+	Neighbors(v graph.NodeID) []graph.NodeID
+}
+
 // Result reports the outcome of the pipeline together with the intermediate
 // palette sizes (useful for experiment E6).
 type Result struct {
@@ -115,7 +131,7 @@ var (
 // Color deterministically computes a (Δ(H)+1)-coloring of h. ids provides the
 // initial distinct identifiers (the model's O(log n)-bit IDs); if nil, node
 // indices are used. The cost model translates phases into charged rounds.
-func Color(h *graph.Graph, ids []int, cost CostModel) (Result, error) {
+func Color(h ConflictGraph, ids []int, cost CostModel) (Result, error) {
 	n := h.NumNodes()
 	res := Result{}
 	if n == 0 {
@@ -202,7 +218,7 @@ func Color(h *graph.Graph, ids []int, cost CostModel) (Result, error) {
 // m-coloring to a proper q²-coloring provided q^(deg+1) >= m (so distinct
 // colors get distinct polynomials) and q > deg·Δ(H) (so each node finds an
 // evaluation point avoiding all neighbors).
-func linial(h *graph.Graph, ids []int, idSpace int) (coloring.Coloring, int, int, error) {
+func linial(h ConflictGraph, ids []int, idSpace int) (coloring.Coloring, int, int, error) {
 	n := h.NumNodes()
 	d := h.MaxDegree()
 	cur := make(coloring.Coloring, n)
@@ -221,10 +237,14 @@ func linial(h *graph.Graph, ids []int, idSpace int) (coloring.Coloring, int, int
 		for v := 0; v < n; v++ {
 			coeffs := digitsBaseQ(cur[v], q, deg+1)
 			point := -1
+			// One neighborhood fetch per node, reused across evaluation
+			// points (a streaming ConflictGraph may reuse the slice on the
+			// NEXT Neighbors call, so no other fetch may intervene).
+			nbrs := h.Neighbors(graph.NodeID(v))
 			for i := 0; i < q && point < 0; i++ {
 				ok := true
 				fv := evalPoly(coeffs, i, q)
-				for _, u := range h.Neighbors(graph.NodeID(v)) {
+				for _, u := range nbrs {
 					cu := digitsBaseQ(cur[u], q, deg+1)
 					if evalPoly(cu, i, q) == fv {
 						ok = false
@@ -279,7 +299,7 @@ func linialParams(m, d int) (deg, q int) {
 // coloring of h with inputPalette colors, it produces a proper coloring with
 // q = O(Δ(h)) colors in q phases, where q is a prime with q > 2Δ(h) and
 // q² >= inputPalette.
-func locallyIterative(h *graph.Graph, input coloring.Coloring, inputPalette int) (coloring.Coloring, int, int, error) {
+func locallyIterative(h ConflictGraph, input coloring.Coloring, inputPalette int) (coloring.Coloring, int, int, error) {
 	n := h.NumNodes()
 	d := h.MaxDegree()
 	minQ := 2*d + 2
@@ -352,7 +372,7 @@ func locallyIterative(h *graph.Graph, input coloring.Coloring, inputPalette int)
 // Δ(h)+1). In every phase, each node whose color is >= target and is the
 // strict maximum among its H-neighborhood recolors itself with a free color
 // below target; the global maximum color strictly decreases every phase.
-func reduceColors(h *graph.Graph, input coloring.Coloring, target int) (coloring.Coloring, int, error) {
+func reduceColors(h ConflictGraph, input coloring.Coloring, target int) (coloring.Coloring, int, error) {
 	n := h.NumNodes()
 	if target < h.MaxDegree()+1 {
 		return nil, 0, fmt.Errorf("detcolor: reduction target %d below Δ+1 = %d", target, h.MaxDegree()+1)

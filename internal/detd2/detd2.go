@@ -64,8 +64,9 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 		ids[v] = int(net.ID(graph.NodeID(v)))
 	}
 
-	sq := g.Square()
-	stages, err := detcolor.Color(sq, ids, detcolor.DefaultCostModelG2(g.MaxDegree()))
+	// The conflict graph H = G² is streamed, never materialized: the pipeline
+	// pulls distance-2 neighborhoods straight from the CSR arrays of g.
+	stages, err := detcolor.Color(graph.NewDist2View(g), ids, detcolor.DefaultCostModelG2(g.MaxDegree()))
 	if err != nil {
 		return Result{}, fmt.Errorf("detd2: %w", err)
 	}

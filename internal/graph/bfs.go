@@ -24,7 +24,7 @@ func (g *Graph) BFSLimited(src NodeID, maxDist int) []int {
 		if dist[u] >= maxDist {
 			continue
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -51,7 +51,7 @@ func (g *Graph) ConnectedComponents() ([]int, int) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(u) {
 				if comp[v] == -1 {
 					comp[v] = next
 					queue = append(queue, v)

@@ -37,27 +37,18 @@ func (g *Graph) EdgeIndex() *EdgeIndex {
 }
 
 func buildEdgeIndex(g *Graph) *EdgeIndex {
-	slots := 0
-	for u := range g.adj {
-		slots += len(g.adj[u])
-	}
-	if slots > maxEdgeSlots {
-		panic("graph: too many directed edges for an EdgeIndex")
-	}
+	// The graph is already CSR-native, so the index aliases the graph's
+	// (immutable) offset and target arrays and only computes Rev.
 	ix := &EdgeIndex{
-		Offsets: make([]int32, g.n+1),
-		Targets: make([]NodeID, 0, slots),
-		Rev:     make([]int32, slots),
-	}
-	for u := 0; u < g.n; u++ {
-		ix.Offsets[u+1] = ix.Offsets[u] + int32(len(g.adj[u]))
-		ix.Targets = append(ix.Targets, g.adj[u]...)
+		Offsets: g.off,
+		Targets: g.tgt,
+		Rev:     make([]int32, len(g.tgt)),
 	}
 	for u := 0; u < g.n; u++ {
 		base := ix.Offsets[u]
-		for i, v := range g.adj[u] {
+		for i, v := range g.Neighbors(NodeID(u)) {
 			// The reverse slot is u's position in v's sorted neighbor list.
-			lst := g.adj[v]
+			lst := g.Neighbors(v)
 			j := sort.Search(len(lst), func(k int) bool { return lst[k] >= NodeID(u) })
 			ix.Rev[base+int32(i)] = ix.Offsets[v] + int32(j)
 		}

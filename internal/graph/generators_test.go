@@ -364,3 +364,16 @@ func TestComputeStats(t *testing.T) {
 		t.Error("empty stats should have 0 nodes")
 	}
 }
+
+func TestGNPTinyProbabilityDoesNotOverflow(t *testing.T) {
+	// Regression: for p small enough that a geometric skip exceeds MaxInt64,
+	// the float→int conversion used to wrap negative and emit ~n²/2 edges.
+	g := GNP(1000, 1e-300, 1)
+	if g.NumEdges() != 0 {
+		t.Fatalf("GNP(1000, 1e-300) produced %d edges, want 0", g.NumEdges())
+	}
+	g = GNP(1000, 4e-18, 2)
+	if g.NumEdges() != 0 {
+		t.Fatalf("GNP(1000, 4e-18) produced %d edges, want 0", g.NumEdges())
+	}
+}

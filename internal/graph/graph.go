@@ -1,6 +1,7 @@
 // Package graph provides the undirected graph substrate used by every
-// algorithm in this repository: adjacency structures, the square graph G²,
-// workload generators and basic structural queries.
+// algorithm in this repository: a CSR-native adjacency structure, streaming
+// distance-2 views (the square graph G² is never materialized on the hot
+// paths), workload generators and basic structural queries.
 //
 // Graphs are simple (no self-loops, no parallel edges) and undirected. Nodes
 // are identified by dense integer indices 0..n-1; the CONGEST simulator
@@ -10,6 +11,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -31,11 +33,15 @@ func (e Edge) Normalize() Edge {
 	return e
 }
 
-// Graph is an immutable simple undirected graph with dense node IDs.
-// Construct one with a Builder or one of the generators in this package.
+// Graph is an immutable simple undirected graph with dense node IDs, stored
+// in CSR (compressed sparse row) form: one offsets array of length n+1 and
+// one flat targets array of length 2m holding every node's sorted neighbor
+// list back to back. Construct one with a Builder or one of the generators in
+// this package.
 type Graph struct {
 	n        int
-	adj      [][]NodeID
+	off      []int32  // CSR offsets; neighbors of u are tgt[off[u]:off[u+1]]
+	tgt      []NodeID // flat neighbor array, sorted within each node's range
 	numEdges int
 	maxDeg   int
 
@@ -51,12 +57,13 @@ var (
 	ErrDuplicateEdge  = errors.New("graph: duplicate edge")
 )
 
-// Builder incrementally assembles a Graph. The zero value is not usable; use
-// NewBuilder.
+// Builder incrementally assembles a Graph. Edges are appended to a flat pair
+// list and finalized by Build with a counting-sort into CSR followed by a
+// per-node sort and dedupe — O(m log Δ) time, zero maps. The zero value is
+// not usable; use NewBuilder.
 type Builder struct {
-	n     int
-	adj   []map[NodeID]struct{}
-	edges int
+	n      int
+	us, vs []NodeID // appended endpoint pairs; duplicates collapse at Build
 }
 
 // NewBuilder returns a Builder for a graph with n nodes and no edges.
@@ -64,18 +71,32 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		n = 0
 	}
-	adj := make([]map[NodeID]struct{}, n)
-	for i := range adj {
-		adj[i] = make(map[NodeID]struct{})
+	return &Builder{n: n}
+}
+
+// Grow hints that about m further edges will be added, preallocating the
+// internal pair lists. Generators with known edge counts use it to emit the
+// CSR arrays without intermediate reallocation.
+func (b *Builder) Grow(m int) {
+	if m <= 0 {
+		return
 	}
-	return &Builder{n: n, adj: adj}
+	if need := len(b.us) + m; need > cap(b.us) {
+		us := make([]NodeID, len(b.us), need)
+		copy(us, b.us)
+		b.us = us
+		vs := make([]NodeID, len(b.vs), need)
+		copy(vs, b.vs)
+		b.vs = vs
+	}
 }
 
 // NumNodes returns the number of nodes the builder was created with.
 func (b *Builder) NumNodes() int { return b.n }
 
 // AddEdge adds the undirected edge {u, v}. It returns an error for self-loops
-// and out-of-range endpoints. Adding an existing edge is a no-op.
+// and out-of-range endpoints. Adding an existing edge is a no-op (duplicates
+// are collapsed by Build).
 func (b *Builder) AddEdge(u, v NodeID) error {
 	if u == v {
 		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
@@ -83,47 +104,103 @@ func (b *Builder) AddEdge(u, v NodeID) error {
 	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
 		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrNodeOutOfRange, u, v, b.n)
 	}
-	if _, ok := b.adj[u][v]; ok {
-		return nil
-	}
-	b.adj[u][v] = struct{}{}
-	b.adj[v][u] = struct{}{}
-	b.edges++
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
 	return nil
 }
 
-// HasEdge reports whether the edge {u, v} has been added.
+// HasEdge reports whether the edge {u, v} has been added. It scans the pair
+// list (O(edges added)); it exists for tests and small fixtures, not for hot
+// paths.
 func (b *Builder) HasEdge(u, v NodeID) bool {
 	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
 		return false
 	}
-	_, ok := b.adj[u][v]
-	return ok
+	for i := range b.us {
+		if (b.us[i] == u && b.vs[i] == v) || (b.us[i] == v && b.vs[i] == u) {
+			return true
+		}
+	}
+	return false
 }
 
 // Build finalizes the builder into an immutable Graph. Neighbor lists are
-// sorted so that iteration order is deterministic.
+// sorted so that iteration order is deterministic; duplicate edges collapse.
+// The builder stays usable (Build does not consume the pair list).
 func (b *Builder) Build() *Graph {
-	adj := make([][]NodeID, b.n)
-	maxDeg := 0
-	for i := range b.adj {
-		lst := make([]NodeID, 0, len(b.adj[i]))
-		for v := range b.adj[i] {
-			lst = append(lst, v)
+	// Counting sort of the directed slots by source node.
+	deg := make([]int32, b.n+1)
+	for i := range b.us {
+		deg[b.us[i]+1]++
+		deg[b.vs[i]+1]++
+	}
+	slots := 0
+	for i := 1; i <= b.n; i++ {
+		slots += int(deg[i])
+		if slots > maxEdgeSlots {
+			panic("graph: too many directed edges for a CSR graph")
 		}
-		sort.Slice(lst, func(a, c int) bool { return lst[a] < lst[c] })
-		adj[i] = lst
-		if len(lst) > maxDeg {
-			maxDeg = len(lst)
+		deg[i] += deg[i-1]
+	}
+	off := deg // deg now holds the offsets; reuse the allocation
+	tgt := make([]NodeID, slots)
+	pos := make([]int32, b.n)
+	for i := 0; i < b.n; i++ {
+		pos[i] = off[i]
+	}
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		tgt[pos[u]] = v
+		pos[u]++
+		tgt[pos[v]] = u
+		pos[v]++
+	}
+	// Per-node sort + in-place dedupe, compacting the flat array as we go.
+	w := int32(0)
+	maxDeg := 0
+	prevEnd := int32(0)
+	for u := 0; u < b.n; u++ {
+		lo, hi := prevEnd, off[u+1]
+		prevEnd = hi
+		lst := tgt[lo:hi]
+		slices.Sort(lst)
+		start := w
+		for i, v := range lst {
+			if i > 0 && v == lst[i-1] {
+				continue
+			}
+			tgt[w] = v
+			w++
+		}
+		off[u] = start
+		if d := int(w - start); d > maxDeg {
+			maxDeg = d
 		}
 	}
-	return &Graph{n: b.n, adj: adj, numEdges: b.edges, maxDeg: maxDeg}
+	off[b.n] = w
+	// Shift offsets: off[u] currently holds the start of u; that is already
+	// the CSR convention, nothing further to do.
+	return &Graph{n: b.n, off: off, tgt: tgt[:w:w], numEdges: int(w) / 2, maxDeg: maxDeg}
+}
+
+// fromCSR wraps prebuilt CSR arrays into a Graph. The caller guarantees that
+// every node's range of tgt is sorted, duplicate- and self-loop-free, and
+// symmetric (v appears under u iff u appears under v).
+func fromCSR(n int, off []int32, tgt []NodeID) *Graph {
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if d := int(off[u+1] - off[u]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return &Graph{n: n, off: off, tgt: tgt, numEdges: len(tgt) / 2, maxDeg: maxDeg}
 }
 
 // FromEdges builds a graph with n nodes and the given edges. Duplicate edges
 // are collapsed; self-loops and out-of-range endpoints cause an error.
 func FromEdges(n int, edges []Edge) (*Graph, error) {
 	b := NewBuilder(n)
+	b.Grow(len(edges))
 	for _, e := range edges {
 		if err := b.AddEdge(e.U, e.V); err != nil {
 			return nil, err
@@ -152,16 +229,17 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // Degree returns the degree of node u.
-func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u NodeID) int { return int(g.off[u+1] - g.off[u]) }
 
-// Neighbors returns the neighbor list of u. The returned slice is owned by
-// the graph and must not be modified; copy it if mutation is needed.
-func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+// Neighbors returns the neighbor list of u (a subslice of the CSR target
+// array, sorted ascending). The returned slice is owned by the graph and must
+// not be modified; copy it if mutation is needed.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.tgt[g.off[u]:g.off[u+1]] }
 
 // NeighborsCopy returns a fresh copy of the neighbor list of u.
 func (g *Graph) NeighborsCopy(u NodeID) []NodeID {
-	out := make([]NodeID, len(g.adj[u]))
-	copy(out, g.adj[u])
+	out := make([]NodeID, g.Degree(u))
+	copy(out, g.Neighbors(u))
 	return out
 }
 
@@ -170,7 +248,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	if int(u) < 0 || int(u) >= g.n || int(v) < 0 || int(v) >= g.n {
 		return false
 	}
-	lst := g.adj[u]
+	lst := g.Neighbors(u)
 	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
 	return i < len(lst) && lst[i] == v
 }
@@ -179,7 +257,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.numEdges)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(NodeID(u)) {
 			if NodeID(u) < v {
 				out = append(out, Edge{U: NodeID(u), V: v})
 			}
@@ -199,12 +277,11 @@ func (g *Graph) Nodes() []NodeID {
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	adj := make([][]NodeID, g.n)
-	for i := range g.adj {
-		adj[i] = make([]NodeID, len(g.adj[i]))
-		copy(adj[i], g.adj[i])
-	}
-	return &Graph{n: g.n, adj: adj, numEdges: g.numEdges, maxDeg: g.maxDeg}
+	off := make([]int32, len(g.off))
+	copy(off, g.off)
+	tgt := make([]NodeID, len(g.tgt))
+	copy(tgt, g.tgt)
+	return &Graph{n: g.n, off: off, tgt: tgt, numEdges: g.numEdges, maxDeg: g.maxDeg}
 }
 
 // InducedSubgraph returns the subgraph induced by keep (nodes with keep[v]
@@ -214,29 +291,40 @@ func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []NodeID) {
 	if len(keep) != g.n {
 		panic(fmt.Sprintf("graph: keep mask has length %d, want %d", len(keep), g.n))
 	}
-	oldToNew := make([]int, g.n)
+	oldToNew := make([]int32, g.n)
 	newToOld := make([]NodeID, 0, g.n)
 	for v := 0; v < g.n; v++ {
 		if keep[v] {
-			oldToNew[v] = len(newToOld)
+			oldToNew[v] = int32(len(newToOld))
 			newToOld = append(newToOld, NodeID(v))
 		} else {
 			oldToNew[v] = -1
 		}
 	}
-	b := NewBuilder(len(newToOld))
-	for u := 0; u < g.n; u++ {
-		if !keep[u] {
-			continue
+	// Emit the sub-CSR directly: the source lists are sorted and the kept
+	// relabelling is monotone, so each new list stays sorted without resorting.
+	nn := len(newToOld)
+	off := make([]int32, nn+1)
+	for i, orig := range newToOld {
+		cnt := int32(0)
+		for _, v := range g.Neighbors(orig) {
+			if keep[v] {
+				cnt++
+			}
 		}
-		for _, v := range g.adj[u] {
-			if NodeID(u) < v && keep[v] {
-				// Both endpoints kept and statically in range: error impossible.
-				_ = b.AddEdge(NodeID(oldToNew[u]), NodeID(oldToNew[v]))
+		off[i+1] = off[i] + cnt
+	}
+	tgt := make([]NodeID, off[nn])
+	w := int32(0)
+	for _, orig := range newToOld {
+		for _, v := range g.Neighbors(orig) {
+			if keep[v] {
+				tgt[w] = NodeID(oldToNew[v])
+				w++
 			}
 		}
 	}
-	return b.Build(), newToOld
+	return fromCSR(nn, off, tgt), newToOld
 }
 
 // DegreeHistogram returns a map from degree value to the number of nodes with
@@ -244,7 +332,7 @@ func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []NodeID) {
 func (g *Graph) DegreeHistogram() map[int]int {
 	h := make(map[int]int)
 	for u := 0; u < g.n; u++ {
-		h[len(g.adj[u])]++
+		h[g.Degree(NodeID(u))]++
 	}
 	return h
 }

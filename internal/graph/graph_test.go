@@ -126,10 +126,10 @@ func TestCloneIndependence(t *testing.T) {
 	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() || c.MaxDegree() != g.MaxDegree() {
 		t.Error("clone does not match original")
 	}
-	// Mutating the clone's adjacency must not affect the original.
-	c.adj[0][0] = 99
-	if g.adj[0][0] == 99 {
-		t.Error("Clone should deep-copy adjacency lists")
+	// Mutating the clone's CSR storage must not affect the original.
+	c.tgt[0] = 99
+	if g.tgt[0] == 99 {
+		t.Error("Clone should deep-copy the CSR arrays")
 	}
 }
 

@@ -6,15 +6,20 @@ import "sort"
 // whenever dist_G(u, v) <= 2 and u != v. The maximum degree of G² is at most
 // Δ + Δ(Δ-1) = Δ², where Δ is the maximum degree of G (Section 1.1 of the
 // paper).
+//
+// TEST ORACLE ONLY. Every production layer streams distance-2 neighborhoods
+// through a Dist2View instead of materializing the square; Square (and Power)
+// exist so property tests can compare the streamed view against the explicit
+// graph. Do not add non-test call sites outside this package.
 func (g *Graph) Square() *Graph {
 	b := NewBuilder(g.n)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(NodeID(u)) {
 			if NodeID(u) < v {
 				_ = b.AddEdge(NodeID(u), v)
 			}
 			// Two-hop neighbors via v.
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				if NodeID(u) < w {
 					_ = b.AddEdge(NodeID(u), w)
 				}
@@ -26,6 +31,7 @@ func (g *Graph) Square() *Graph {
 
 // Power returns G^k for k >= 1: the graph with an edge between every pair of
 // distinct nodes at distance at most k in G. Power(1) returns a clone.
+// TEST ORACLE ONLY — production layers stream through DistKView instead.
 func (g *Graph) Power(k int) *Graph {
 	if k <= 1 {
 		return g.Clone()
@@ -44,11 +50,13 @@ func (g *Graph) Power(k int) *Graph {
 
 // Dist2Neighbors returns the set of distance-2 neighbors of u (nodes at
 // distance 1 or 2, excluding u itself), i.e. N_{G²}(u), as a sorted slice.
+// It is the map-based reference implementation the Dist2View property tests
+// compare against; hot paths use a Dist2View.
 func (g *Graph) Dist2Neighbors(u NodeID) []NodeID {
-	seen := make(map[NodeID]struct{}, len(g.adj[u])*2)
-	for _, v := range g.adj[u] {
+	seen := make(map[NodeID]struct{}, g.Degree(u)*2)
+	for _, v := range g.Neighbors(u) {
 		seen[v] = struct{}{}
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if w != u {
 				seen[w] = struct{}{}
 			}
@@ -94,7 +102,7 @@ func (g *Graph) TwoPaths(u, v NodeID) int {
 		return 0
 	}
 	count := 0
-	for _, w := range g.adj[u] {
+	for _, w := range g.Neighbors(u) {
 		if w == v {
 			continue
 		}

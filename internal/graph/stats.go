@@ -15,13 +15,15 @@ type Stats struct {
 	AvgDegree    float64 `json:"avgDegree"`
 	MaxDist2Deg  int     `json:"maxDist2Degree"`
 	AvgDist2Deg  float64 `json:"avgDist2Degree"`
+	Dist2Edges   int     `json:"dist2Edges"` // m(G²), streamed, never materialized
 	Components   int     `json:"components"`
 	DegreeStdDev float64 `json:"degreeStdDev"`
 	SquaredBound int     `json:"deltaSquaredBound"` // Δ², the palette bound used by the paper
 }
 
-// ComputeStats computes Stats for g. The distance-2 degree statistics iterate
-// over all nodes, so this is intended for experiment-sized graphs.
+// ComputeStats computes Stats for g. The distance-2 degree statistics (Δ(G²),
+// average d2-degree and m(G²)) are computed through the streaming Dist2View,
+// so even large squares cost no memory beyond the view's O(n) mark buffer.
 func ComputeStats(g *Graph) Stats {
 	st := Stats{
 		Nodes:     g.NumNodes(),
@@ -36,6 +38,7 @@ func ComputeStats(g *Graph) Stats {
 	st.MinDegree = g.NumNodes()
 	var sum, sumSq float64
 	var d2Sum float64
+	d2 := NewDist2View(g)
 	for u := 0; u < g.NumNodes(); u++ {
 		d := g.Degree(NodeID(u))
 		if d < st.MinDegree {
@@ -43,24 +46,25 @@ func ComputeStats(g *Graph) Stats {
 		}
 		sum += float64(d)
 		sumSq += float64(d) * float64(d)
-		d2 := g.Dist2Degree(NodeID(u))
-		d2Sum += float64(d2)
-		if d2 > st.MaxDist2Deg {
-			st.MaxDist2Deg = d2
+		deg2 := d2.Dist2Degree(NodeID(u))
+		d2Sum += float64(deg2)
+		if deg2 > st.MaxDist2Deg {
+			st.MaxDist2Deg = deg2
 		}
 	}
 	n := float64(g.NumNodes())
 	mean := sum / n
 	st.DegreeStdDev = math.Sqrt(maxFloat(0, sumSq/n-mean*mean))
 	st.AvgDist2Deg = d2Sum / n
+	st.Dist2Edges = int(d2Sum) / 2
 	_, st.Components = g.ConnectedComponents()
 	return st
 }
 
 // String renders the stats on one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("n=%d m=%d Δ=%d δ=%d avg=%.2f Δ(G²)=%d comps=%d",
-		s.Nodes, s.Edges, s.MaxDegree, s.MinDegree, s.AvgDegree, s.MaxDist2Deg, s.Components)
+	return fmt.Sprintf("n=%d m=%d Δ=%d δ=%d avg=%.2f Δ(G²)=%d m(G²)=%d comps=%d",
+		s.Nodes, s.Edges, s.MaxDegree, s.MinDegree, s.AvgDegree, s.MaxDist2Deg, s.Dist2Edges, s.Components)
 }
 
 func maxFloat(a, b float64) float64 {

@@ -24,17 +24,18 @@ func runE3(cfg Config) (*Table, error) {
 		ds = []int{4, 8}
 	}
 	for _, d := range ds {
-		g := graph.RandomRegular(n, d, int64(cfg.Seed)+int64(d))
+		g, effD := graph.RandomRegularEffective(n, d, int64(cfg.Seed)+int64(d))
 		delta := g.MaxDegree()
 		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, err
 		}
 		rounds := float64(res.Metrics.TotalRounds())
-		t.AddRow(itoa(n), itoa(d), itoa(delta), itoa(res.PaletteSize), itoa(res.Coloring.NumColorsUsed()),
+		t.AddRow(itoa(n), itoa(effD), itoa(delta), itoa(res.PaletteSize), itoa(res.Coloring.NumColorsUsed()),
 			ftoa(rounds), ftoa(rounds/float64(delta*delta)),
 			itoa(res.Stages.LinialRounds), itoa(res.Stages.IterativeRounds), itoa(res.Stages.ReductionRounds))
 	}
+	t.AddNote("the d column is the post-clamping effective pairing-model degree, so rows are self-describing")
 	t.AddNote("expected shape: rounds grow with Δ and rounds/Δ² never exceeds a small constant (the theorem is an upper bound; random regular inputs finish the locally-iterative phases early, so growth is sub-quadratic in practice)")
 	return t, nil
 }
@@ -145,14 +146,14 @@ func runE6(cfg Config) (*Table, error) {
 		ds = []int{4, 8}
 	}
 	for _, d := range ds {
-		g := graph.RandomRegular(n, d, int64(cfg.Seed)+int64(d))
+		g, effD := graph.RandomRegularEffective(n, d, int64(cfg.Seed)+int64(d))
 		delta := g.MaxDegree()
 		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
 		if err != nil {
 			return nil, err
 		}
 		d4 := delta * delta * delta * delta
-		t.AddRow(itoa(n), itoa(d), itoa(delta), itoa(d4), itoa(res.Stages.LinialColors),
+		t.AddRow(itoa(n), itoa(effD), itoa(delta), itoa(d4), itoa(res.Stages.LinialColors),
 			ftoa(float64(res.Stages.LinialColors)/float64(maxI(d4, 1))),
 			itoa(res.Stages.LinialRounds), itoa(res.Stages.LinialRounds-2*delta))
 	}

@@ -14,7 +14,10 @@
 // charges k CONGEST rounds per G^k round (each G^k round is a k-hop
 // information exchange realized by k flooding rounds on G), plus one round
 // per phase for the removal notifications — the O(k log n) accounting of the
-// introduction.
+// introduction. The conflict graph G^k itself is never materialized: the
+// Luby loop streams distance-at-most-k neighborhoods through a
+// graph.DistKView (a bounded BFS over the CSR arrays with a reusable
+// generation-stamped mark buffer).
 package mis
 
 import (
@@ -69,8 +72,8 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 		maxPhases = 64*int(math.Ceil(math.Log2(float64(maxInt(n, 2))))) + 64
 	}
 
-	// The conflict graph is G^K; Luby's algorithm runs on it.
-	power := g.Power(opts.K)
+	// The conflict graph is G^K; Luby's algorithm streams its neighborhoods.
+	power := graph.NewDistKView(g, opts.K)
 
 	const (
 		stateLive = iota
@@ -103,14 +106,15 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 				continue
 			}
 			win := true
-			for _, u := range power.Neighbors(graph.NodeID(v)) {
+			power.ForEach(graph.NodeID(v), func(u graph.NodeID) bool {
 				if state[u] == stateLive {
 					if priority[u] > priority[v] || (priority[u] == priority[v] && u > graph.NodeID(v)) {
 						win = false
-						break
+						return false
 					}
 				}
-			}
+				return true
+			})
 			if win {
 				joined = append(joined, graph.NodeID(v))
 			}
@@ -121,12 +125,13 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 			liveCount--
 		}
 		for _, v := range joined {
-			for _, u := range power.Neighbors(v) {
+			power.ForEach(v, func(u graph.NodeID) bool {
 				if state[u] == stateLive {
 					state[u] = stateOut
 					liveCount--
 				}
-			}
+				return true
+			})
 		}
 		// Cost: one G^K round to exchange priorities (K rounds on G), one
 		// G^K round to announce joins/removals (K rounds on G).

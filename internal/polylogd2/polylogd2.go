@@ -146,6 +146,16 @@ type Result struct {
 	UsedDirectFallback bool
 }
 
+// conflictTarget is the coloring target of colorPartitioned: either the
+// communication graph itself (Theorem 3.4) or the streamed square view
+// (Theorem 1.3). Both *graph.Graph and *graph.Dist2View satisfy it, so G² is
+// partitioned and colored without ever being materialized — only the small
+// per-part induced subgraphs G²[Vᵢ] are built explicitly.
+type conflictTarget interface {
+	detcolor.ConflictGraph
+	InducedSubgraph(keep []bool) (*graph.Graph, []graph.NodeID)
+}
+
 // ColorG implements Theorem 3.4: a (1+ε)Δ coloring of G in polylogarithmic
 // time (given the splitting substrate), by coloring the parts of the
 // Lemma-3.3 partition in parallel with disjoint palettes.
@@ -176,7 +186,7 @@ func ColorG2(g *graph.Graph, opts Options) (Result, error) {
 	bound := paletteBound(delta*delta, opts.Epsilon)
 	inner := opts
 	inner.Epsilon = opts.Epsilon / 4
-	res, err := colorPartitioned(g, g.Square(), inner, bound, 0)
+	res, err := colorPartitioned(g, graph.NewDist2View(g), inner, bound, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -195,7 +205,7 @@ func ColorG2(g *graph.Graph, opts Options) (Result, error) {
 // the target: 1 when target = G (vertex-disjoint parts communicate directly),
 // 0 when target = G² (the Δ_h overhead of Lemma 3.5 is derived from the
 // computed partition).
-func colorPartitioned(g, target *graph.Graph, opts Options, bound int, simulationScale int) (Result, error) {
+func colorPartitioned(g *graph.Graph, target conflictTarget, opts Options, bound int, simulationScale int) (Result, error) {
 	n := g.NumNodes()
 	res := Result{PaletteBound: bound}
 	if n == 0 {

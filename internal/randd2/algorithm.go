@@ -124,7 +124,7 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	res := Result{Variant: opts.Variant, PaletteSize: r.palette}
 
 	// Step 1: form the similarity graphs H and Ĥ (Section 2.3).
-	r.sim = buildSimilarity(g, r.sq, delta, params, opts.Seed)
+	r.sim = buildSimilarity(g, r.d2, delta, params, opts.Seed)
 	r.charge(r.sim.rounds)
 	res.SimilarityRounds = r.sim.rounds
 

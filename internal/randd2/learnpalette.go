@@ -39,11 +39,12 @@ func (r *runner) learnPalette() (remaining [][]int, stats PaletteStats) {
 	// Precondition quantity ϕ: live d2-neighbours per node.
 	for v := 0; v < r.n; v++ {
 		liveNbrs := 0
-		for _, u := range r.sq.Neighbors(graph.NodeID(v)) {
+		r.d2.ForEachDist2(graph.NodeID(v), func(u graph.NodeID) bool {
 			if r.isLive(u) {
 				liveNbrs++
 			}
-		}
+			return true
+		})
 		if liveNbrs > stats.MaxLivePerNbr {
 			stats.MaxLivePerNbr = liveNbrs
 		}
@@ -52,16 +53,17 @@ func (r *runner) learnPalette() (remaining [][]int, stats PaletteStats) {
 	for _, v := range live {
 		usedAll := make([]bool, r.palette)  // colours of all colored d2-neighbours
 		usedViaH := make([]bool, r.palette) // colours the handlers learn (from H-neighbours)
-		for _, u := range r.sq.Neighbors(v) {
+		r.d2.ForEachDist2(v, func(u graph.NodeID) bool {
 			c := r.col[u]
 			if c < 0 || c >= r.palette {
-				continue
+				return true
 			}
 			usedAll[c] = true
 			if r.sim.isHNeighbor(v, u) {
 				usedViaH[c] = true
 			}
-		}
+			return true
+		})
 		// Tv: colours v did not learn through the handler mechanism and must
 		// recover via the correction step — exactly the colours used only by
 		// non-H d2-neighbours (proof of Lemma 2.15).
@@ -143,11 +145,12 @@ func (r *runner) finishColoring(remaining [][]int) (FinishStats, error) {
 		colored := r.resolveTries(tries)
 		for _, v := range colored {
 			c := r.col[v]
-			for _, u := range r.sq.Neighbors(v) {
+			r.d2.ForEachDist2(v, func(u graph.NodeID) bool {
 				if avail[u] != nil {
 					delete(avail[u], c)
 				}
-			}
+				return true
+			})
 		}
 		r.charge(3)
 		stats.ChargedRounds += 3

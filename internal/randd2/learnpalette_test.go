@@ -19,11 +19,12 @@ func TestLearnPaletteExactness(t *testing.T) {
 	r := newTestRunner(t, g, p, 2)
 	for v := 0; v < 30; v++ {
 		used := make(map[int]bool)
-		for _, u := range r.sq.Neighbors(graph.NodeID(v)) {
+		r.d2.ForEachDist2(graph.NodeID(v), func(u graph.NodeID) bool {
 			if r.col[u] != coloring.Uncolored {
 				used[r.col[u]] = true
 			}
-		}
+			return true
+		})
 		c := 0
 		for used[c] {
 			c++
@@ -39,7 +40,7 @@ func TestLearnPaletteExactness(t *testing.T) {
 		t.Error("LearnPalette should charge rounds")
 	}
 	for _, v := range r.liveNodes() {
-		want := sparsity.Leeway(r.sq, r.col, r.palette, v)
+		want := sparsity.Leeway(r.d2, r.col, r.palette, v)
 		if len(remaining[v]) != want {
 			t.Fatalf("node %d: remaining palette size %d, want leeway %d", v, len(remaining[v]), want)
 		}

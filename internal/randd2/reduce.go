@@ -213,7 +213,7 @@ func (r *runner) reducePhase(phi, activeProb float64, ru [][]graph.NodeID, phase
 		if r.col[w] == coloring.Uncolored {
 			continue
 		}
-		if !r.sq.HasEdge(w, f.q.v) {
+		if !r.d2.IsDist2Neighbor(w, f.q.v) {
 			propose(f.q.v, r.col[w])
 		}
 	}

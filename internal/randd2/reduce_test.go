@@ -12,7 +12,7 @@ import (
 func newTestRunner(t *testing.T, g *graph.Graph, p Params, seed uint64) *runner {
 	t.Helper()
 	r := newRunner(g, p, seed)
-	r.sim = buildSimilarity(g, r.sq, r.delta, p, seed)
+	r.sim = buildSimilarity(g, r.d2, r.delta, p, seed)
 	return r
 }
 
@@ -117,14 +117,14 @@ func TestReduceOnMooreGraphMakesProgress(t *testing.T) {
 	r := newTestRunner(t, g, p, 7)
 	// Give the helpers something to work with: color half the nodes greedily
 	// (validly) so that colored H-neighbours exist.
-	sq := r.sq
 	for v := 0; v < g.NumNodes()/2; v++ {
 		used := make(map[int]bool)
-		for _, u := range sq.Neighbors(graph.NodeID(v)) {
+		r.d2.ForEachDist2(graph.NodeID(v), func(u graph.NodeID) bool {
 			if r.col[u] != coloring.Uncolored {
 				used[r.col[u]] = true
 			}
-		}
+			return true
+		})
 		c := 0
 		for used[c] {
 			c++

@@ -8,7 +8,7 @@ import (
 )
 
 // runner holds the mutable state of one execution of the randomized
-// algorithm: the graph, its square, the current partial coloring, the
+// algorithm: the graph, its streamed distance-2 view, the current partial coloring, the
 // similarity graphs, per-node random streams and the accumulated cost
 // metrics.
 //
@@ -20,7 +20,7 @@ import (
 // to each phase.
 type runner struct {
 	g       *graph.Graph
-	sq      *graph.Graph
+	d2      *graph.Dist2View // streaming distance-2 plane; G² is never materialized
 	n       int
 	delta   int
 	palette int
@@ -41,7 +41,7 @@ func newRunner(g *graph.Graph, p Params, seed uint64) *runner {
 	delta := g.MaxDegree()
 	r := &runner{
 		g:            g,
-		sq:           g.Square(),
+		d2:           graph.NewDist2View(g),
 		n:            n,
 		delta:        delta,
 		palette:      delta*delta + 1,
@@ -98,12 +98,15 @@ func (r *runner) adoptColoring(c coloring.Coloring) {
 // colored distance-2 neighbour of v. In the protocol this is exactly the
 // answer v's immediate neighbours give when v tries c.
 func (r *runner) colorUsedByColoredD2Neighbor(v graph.NodeID, c int) bool {
-	for _, u := range r.sq.Neighbors(v) {
+	used := false
+	r.d2.ForEachDist2(v, func(u graph.NodeID) bool {
 		if r.col[u] == c {
-			return true
+			used = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return used
 }
 
 // resolveTries applies one synchronous round of color tries: tries maps live
@@ -118,16 +121,17 @@ func (r *runner) resolveTries(tries map[graph.NodeID]int) []graph.NodeID {
 			continue
 		}
 		ok := true
-		for _, u := range r.sq.Neighbors(v) {
+		r.d2.ForEachDist2(v, func(u graph.NodeID) bool {
 			if r.col[u] == c {
 				ok = false
-				break
+				return false
 			}
 			if other, trying := tries[u]; trying && other == c {
 				ok = false
-				break
+				return false
 			}
-		}
+			return true
+		})
 		if ok {
 			colored = append(colored, v)
 		}

@@ -47,7 +47,12 @@ func (s *similarity) isHNeighbor(v, u graph.NodeID) bool {
 // Round charge: the sampling, the O(log n)-size set exchange and the
 // pipelined comparison all fit in O(log n) rounds (Section 2.3); the exact
 // variant for Δ² = O(log n) also costs O(log n) rounds.
-func buildSimilarity(g *graph.Graph, sq *graph.Graph, delta int, p Params, seed uint64) *similarity {
+//
+// Implementation: distance-2 neighborhoods are streamed from the Dist2View;
+// the exact common-neighbour counts |N²(u) ∩ N²(v)| are taken against a
+// pooled MarkSet holding N²(v), so no square adjacency and no per-pair sets
+// are ever allocated.
+func buildSimilarity(g *graph.Graph, d2v *graph.Dist2View, delta int, p Params, seed uint64) *similarity {
 	n := g.NumNodes()
 	s := &similarity{
 		h:    make([][]graph.NodeID, n),
@@ -62,14 +67,16 @@ func buildSimilarity(g *graph.Graph, sq *graph.Graph, delta int, p Params, seed 
 	}
 
 	useExact := p.ExactSimilarity || float64(d2) <= p.C10*logN
-	var commonCount func(u, v graph.NodeID) (count int, denom float64)
 
-	if useExact {
-		// Exact counts against the true d2-degree bound Δ².
-		commonCount = func(u, v graph.NodeID) (int, float64) {
-			return commonSortedCount(sq.Neighbors(u), sq.Neighbors(v)), float64(d2)
-		}
-	} else {
+	// inV marks N²(v) while the inner loop streams N²(u); nbrsV is the
+	// caller-owned materialization of N²(v) (the view's stream cannot be
+	// nested inside itself).
+	inV := graph.NewMarkSet(n)
+	nbrsV := make([]graph.NodeID, 0, d2)
+
+	var samples [][]graph.NodeID
+	var expected float64
+	if !useExact {
 		// Sampling protocol. S is drawn with per-node coins; Sv is the sorted
 		// list of sampled d2-neighbours of v.
 		prob := p.C10 * logN / float64(d2)
@@ -81,18 +88,17 @@ func buildSimilarity(g *graph.Graph, sq *graph.Graph, delta int, p Params, seed 
 		for v := 0; v < n; v++ {
 			inSample[v] = src.Bernoulli(prob)
 		}
-		samples := make([][]graph.NodeID, n)
+		samples = make([][]graph.NodeID, n)
 		for v := 0; v < n; v++ {
-			for _, u := range sq.Neighbors(graph.NodeID(v)) {
+			d2v.ForEachDist2(graph.NodeID(v), func(u graph.NodeID) bool {
 				if inSample[u] {
 					samples[v] = append(samples[v], u)
 				}
-			}
+				return true
+			})
+			sortNodeSlice(samples[v])
 		}
-		expected := prob * float64(d2)
-		commonCount = func(u, v graph.NodeID) (int, float64) {
-			return commonSortedCount(samples[u], samples[v]), expected
-		}
+		expected = prob * float64(d2)
 	}
 
 	// Thresholds per Theorem 2.2: H_{1-1/k} requires a (1 − 1/(2k)) fraction
@@ -108,11 +114,33 @@ func buildSimilarity(g *graph.Graph, sq *graph.Graph, delta int, p Params, seed 
 	}
 
 	for v := 0; v < n; v++ {
-		for _, u := range sq.Neighbors(graph.NodeID(v)) {
+		nbrsV = d2v.AppendDist2(nbrsV[:0], graph.NodeID(v))
+		if useExact {
+			inV.Reset()
+			for _, u := range nbrsV {
+				inV.Add(u)
+			}
+		}
+		for _, u := range nbrsV {
 			if u <= graph.NodeID(v) {
 				continue
 			}
-			count, denom := commonCount(graph.NodeID(v), u)
+			var count int
+			var denom float64
+			if useExact {
+				// |N²(u) ∩ N²(v)| streamed against the mark set (v itself is
+				// never marked, matching the set semantics of N²(v)).
+				d2v.ForEachDist2(u, func(w graph.NodeID) bool {
+					if inV.Contains(w) {
+						count++
+					}
+					return true
+				})
+				denom = float64(d2)
+			} else {
+				count = commonSortedCount(samples[u], samples[v])
+				denom = expected
+			}
 			if denom <= 0 {
 				continue
 			}

@@ -10,12 +10,12 @@ func buildSim(t *testing.T, g *graph.Graph, exact bool) *similarity {
 	t.Helper()
 	p := Default()
 	p.ExactSimilarity = exact
-	return buildSimilarity(g, g.Square(), g.MaxDegree(), p, 99)
+	return buildSimilarity(g, graph.NewDist2View(g), g.MaxDegree(), p, 99)
 }
 
 func TestSimilaritySymmetricAndSubsetOfSquare(t *testing.T) {
 	g := graph.CliqueChain(5, 6, 0)
-	sq := g.Square()
+	sq := g.Square() // materialized oracle, test-only
 	for _, exact := range []bool{true, false} {
 		sim := buildSim(t, g, exact)
 		for v := 0; v < g.NumNodes(); v++ {
@@ -105,7 +105,7 @@ func TestSimilaritySampledApproximatesExact(t *testing.T) {
 	delta := g.MaxDegree()
 	p := Default()
 	p.C10 = 8 // a larger sample keeps the concentration argument valid at n = 50
-	sim := buildSimilarity(g, g.Square(), delta, p, 99)
+	sim := buildSimilarity(g, graph.NewDist2View(g), delta, p, 99)
 	declared := 0
 	for v := 0; v < g.NumNodes(); v++ {
 		declared += sim.hDegree(graph.NodeID(v))
@@ -125,7 +125,7 @@ func TestSimilaritySampledApproximatesExact(t *testing.T) {
 
 func TestSimilarityDegenerate(t *testing.T) {
 	empty := graph.NewBuilder(3).Build()
-	sim := buildSimilarity(empty, empty.Square(), 0, Default(), 1)
+	sim := buildSimilarity(empty, graph.NewDist2View(empty), 0, Default(), 1)
 	for v := 0; v < 3; v++ {
 		if sim.hDegree(graph.NodeID(v)) != 0 {
 			t.Error("similarity graph of an edgeless graph should be empty")

@@ -7,6 +7,9 @@
 // (the paper stresses that nodes do not know their leeway); they exist for
 // analysis, tests, and experiment E9, which validates the slack-generation
 // claim of Proposition 2.5 / Observation 1.
+//
+// All functions take a *graph.Dist2View and walk the CSR arrays of the base
+// graph with pooled mark buffers; the square graph is never materialized.
 package sparsity
 
 import (
@@ -23,42 +26,52 @@ import (
 // The value lies in [0, (Δ²−1)/2]. It is 0 exactly when the d2-neighborhood
 // of v is a clique of size Δ².
 //
-// sq must be the square graph g.Square(); passing it in avoids recomputing it
-// per call. delta is the maximum degree Δ of the base graph.
-func Sparsity(g *graph.Graph, sq *graph.Graph, delta int, v graph.NodeID) float64 {
-	d2 := delta * delta
-	if d2 == 0 {
+// d2 is a streaming view of the base graph; delta is its maximum degree Δ.
+func Sparsity(d2 *graph.Dist2View, delta int, v graph.NodeID) float64 {
+	return sparsityBuf(d2, graph.NewMarkSet(d2.NumNodes()), nil, delta, v)
+}
+
+// sparsityBuf is Sparsity with caller-pooled scratch: in holds the membership
+// marks of N_{G²}(v) and buf is reused for the materialized neighbor list
+// (AllSparsities amortizes both across all nodes).
+func sparsityBuf(d2 *graph.Dist2View, in *graph.MarkSet, buf []graph.NodeID, delta int, v graph.NodeID) float64 {
+	dd := delta * delta
+	if dd == 0 {
 		return 0
 	}
-	nbrs := sq.Neighbors(v)
-	inNbr := make(map[graph.NodeID]struct{}, len(nbrs))
-	for _, u := range nbrs {
-		inNbr[u] = struct{}{}
+	// Materialize N_{G²}(v) once into the caller-owned buffer (the view's
+	// stream cannot be nested inside itself), then mark it for membership.
+	buf = d2.AppendDist2(buf[:0], v)
+	in.Reset()
+	for _, u := range buf {
+		in.Add(u)
 	}
 	edges := 0
-	for _, u := range nbrs {
-		for _, w := range sq.Neighbors(u) {
-			if w <= u {
-				continue
-			}
-			if _, ok := inNbr[w]; ok {
+	for _, u := range buf {
+		d2.ForEachDist2(u, func(w graph.NodeID) bool {
+			if w > u && in.Contains(w) {
 				edges++
 			}
-		}
+			return true
+		})
 	}
-	full := float64(d2) * float64(d2-1) / 2
-	zeta := (full - float64(edges)) / float64(d2)
+	full := float64(dd) * float64(dd-1) / 2
+	zeta := (full - float64(edges)) / float64(dd)
 	if zeta < 0 {
 		return 0
 	}
 	return zeta
 }
 
-// AllSparsities returns ζ(v) for every node.
-func AllSparsities(g *graph.Graph, sq *graph.Graph, delta int) []float64 {
-	out := make([]float64, g.NumNodes())
-	for v := 0; v < g.NumNodes(); v++ {
-		out[v] = Sparsity(g, sq, delta, graph.NodeID(v))
+// AllSparsities returns ζ(v) for every node, reusing one mark buffer and one
+// neighborhood buffer across the whole pass.
+func AllSparsities(d2 *graph.Dist2View, delta int) []float64 {
+	n := d2.NumNodes()
+	out := make([]float64, n)
+	in := graph.NewMarkSet(n)
+	buf := make([]graph.NodeID, 0, delta*delta+1)
+	for v := 0; v < n; v++ {
+		out[v] = sparsityBuf(d2, in, buf, delta, graph.NodeID(v))
 	}
 	return out
 }
@@ -66,56 +79,59 @@ func AllSparsities(g *graph.Graph, sq *graph.Graph, delta int) []float64 {
 // Leeway returns the leeway of v under the partial coloring c: the number of
 // colors of the palette [0, paletteSize) that are not used among the
 // distance-2 neighbors of v (Section 2, "Notation").
-func Leeway(sq *graph.Graph, c coloring.Coloring, paletteSize int, v graph.NodeID) int {
+func Leeway(d2 *graph.Dist2View, c coloring.Coloring, paletteSize int, v graph.NodeID) int {
 	used := make(map[int]struct{})
-	for _, u := range sq.Neighbors(v) {
+	d2.ForEachDist2(v, func(u graph.NodeID) bool {
 		if col := c[u]; col != coloring.Uncolored && col >= 0 && col < paletteSize {
 			used[col] = struct{}{}
 		}
-	}
+		return true
+	})
 	return paletteSize - len(used)
 }
 
 // Slack returns the slack of v: leeway minus the number of live (uncolored)
 // distance-2 neighbors. A node has slack q when the number of distinct colors
 // of d2-neighbors plus the number of live d2-neighbors equals paletteSize − q.
-func Slack(sq *graph.Graph, c coloring.Coloring, paletteSize int, v graph.NodeID) int {
+func Slack(d2 *graph.Dist2View, c coloring.Coloring, paletteSize int, v graph.NodeID) int {
 	live := 0
 	used := make(map[int]struct{})
-	for _, u := range sq.Neighbors(v) {
+	d2.ForEachDist2(v, func(u graph.NodeID) bool {
 		col := c[u]
 		if col == coloring.Uncolored {
 			live++
-			continue
+			return true
 		}
 		if col >= 0 && col < paletteSize {
 			used[col] = struct{}{}
 		}
-	}
+		return true
+	})
 	return paletteSize - len(used) - live
 }
 
 // LiveD2Neighbors returns the number of uncolored distance-2 neighbors of v.
-func LiveD2Neighbors(sq *graph.Graph, c coloring.Coloring, v graph.NodeID) int {
+func LiveD2Neighbors(d2 *graph.Dist2View, c coloring.Coloring, v graph.NodeID) int {
 	live := 0
-	for _, u := range sq.Neighbors(v) {
+	d2.ForEachDist2(v, func(u graph.NodeID) bool {
 		if c[u] == coloring.Uncolored {
 			live++
 		}
-	}
+		return true
+	})
 	return live
 }
 
 // IsSolid reports whether v is solid in the sense of Definition 2.4: its
 // leeway is at most c1·Δ² and its sparsity is at most 4e³ times its leeway.
 // c1 is passed in because the algorithm parameters expose it.
-func IsSolid(g *graph.Graph, sq *graph.Graph, c coloring.Coloring, delta int, c1 float64, v graph.NodeID) bool {
+func IsSolid(d2 *graph.Dist2View, c coloring.Coloring, delta int, c1 float64, v graph.NodeID) bool {
 	const fourECubed = 4 * 2.718281828459045 * 2.718281828459045 * 2.718281828459045
 	paletteSize := delta*delta + 1
-	lw := Leeway(sq, c, paletteSize, v)
+	lw := Leeway(d2, c, paletteSize, v)
 	if float64(lw) > c1*float64(delta*delta) {
 		return false
 	}
-	zeta := Sparsity(g, sq, delta, v)
+	zeta := Sparsity(d2, delta, v)
 	return zeta <= fourECubed*float64(lw)
 }

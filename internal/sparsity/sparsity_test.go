@@ -24,9 +24,9 @@ func TestSparsityOfCliqueNeighborhoodIsZeroish(t *testing.T) {
 	// in K_{Δ,Δ} collapses to 2Δ-1 nodes. Instead we verify monotonicity and
 	// bounds rather than exact zero.
 	g := graph.Complete(6)
-	sq := g.Square()
+	d2 := graph.NewDist2View(g)
 	delta := g.MaxDegree()
-	z := Sparsity(g, sq, delta, 0)
+	z := Sparsity(d2, delta, 0)
 	if z < 0 {
 		t.Errorf("sparsity must be non-negative, got %f", z)
 	}
@@ -44,11 +44,12 @@ func TestSparsityZeroForFullSquareClique(t *testing.T) {
 	// verify the definitional identity |E(G²[v])| = C(Δ²,2) − Δ²·ζ by
 	// recomputing the edge count from the returned ζ.
 	g := graph.GNP(40, 0.15, 3)
-	sq := g.Square()
+	sq := g.Square() // materialized oracle, test-only
+	view := graph.NewDist2View(g)
 	delta := g.MaxDegree()
 	d2 := delta * delta
 	for v := 0; v < g.NumNodes(); v++ {
-		z := Sparsity(g, sq, delta, graph.NodeID(v))
+		z := Sparsity(view, delta, graph.NodeID(v))
 		// Recompute edges in G²[v] directly.
 		nbrs := sq.Neighbors(graph.NodeID(v))
 		set := make(map[graph.NodeID]bool, len(nbrs))
@@ -76,11 +77,11 @@ func TestSparsityZeroForFullSquareClique(t *testing.T) {
 
 func TestSparsityDegenerate(t *testing.T) {
 	g := graph.NewBuilder(3).Build() // no edges, Δ=0
-	sq := g.Square()
-	if z := Sparsity(g, sq, 0, 0); z != 0 {
+	d2 := graph.NewDist2View(g)
+	if z := Sparsity(d2, 0, 0); z != 0 {
 		t.Errorf("sparsity with Δ=0 should be 0, got %f", z)
 	}
-	all := AllSparsities(g, sq, 0)
+	all := AllSparsities(d2, 0)
 	if len(all) != 3 {
 		t.Errorf("AllSparsities length = %d, want 3", len(all))
 	}
@@ -89,7 +90,7 @@ func TestSparsityDegenerate(t *testing.T) {
 func TestLeewaySlackLive(t *testing.T) {
 	// Star with 4 leaves: G² is K5. Palette size 17 (Δ=4 → Δ²+1 = 17).
 	g := graph.Star(5)
-	sq := g.Square()
+	sq := graph.NewDist2View(g)
 	palette := 17
 	c := coloring.New(5)
 
@@ -128,17 +129,17 @@ func TestIsSolid(t *testing.T) {
 	// obvious regimes: complete coloring on a clique (solid), empty coloring
 	// on a sparse graph (not solid, because leeway = Δ²+1 > c1·Δ² for small c1).
 	g := graph.Complete(6)
-	sq := g.Square()
+	d2 := graph.NewDist2View(g)
 	delta := g.MaxDegree()
 	full := coloring.New(6)
 	for i := range full {
 		full[i] = i
 	}
-	if !IsSolid(g, sq, full, delta, 1.0, 0) {
+	if !IsSolid(d2, full, delta, 1.0, 0) {
 		t.Error("node in a fully colored clique should be solid for c1=1")
 	}
 	empty := coloring.New(6)
-	if IsSolid(g, sq, empty, delta, 0.01, 0) {
+	if IsSolid(d2, empty, delta, 0.01, 0) {
 		t.Error("node with full leeway should not be solid for tiny c1")
 	}
 }

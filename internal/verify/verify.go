@@ -102,41 +102,83 @@ func check(g *graph.Graph, c coloring.Coloring, paletteSize int, dist2 bool) Rep
 // checkConflicts finds colored node pairs at distance 1 (and, if dist2, also
 // distance 2) sharing a color.
 func checkConflicts(g *graph.Graph, c coloring.Coloring, dist2 bool, rep *Report) {
-	for u := 0; u < g.NumNodes(); u++ {
-		cu := c[u]
-		if cu == coloring.Uncolored {
-			continue
-		}
-		if dist2 {
-			// A d2-coloring is equivalent to: for every node w, all colored
-			// nodes in {w} ∪ N(w) have distinct colors. Checking that form
-			// costs O(Σ deg²) rather than materializing G².
-			continue
-		}
-		for _, v := range g.Neighbors(graph.NodeID(u)) {
-			if int(v) > u && c[v] == cu {
-				rep.addViolation(Violation{Kind: "conflict-d1", U: graph.NodeID(u), V: v,
-					Info: fmt.Sprintf("both have color %d", cu)})
+	if !dist2 {
+		for u := 0; u < g.NumNodes(); u++ {
+			cu := c[u]
+			if cu == coloring.Uncolored {
+				continue
+			}
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				if int(v) > u && c[v] == cu {
+					rep.addViolation(Violation{Kind: "conflict-d1", U: graph.NodeID(u), V: v,
+						Info: fmt.Sprintf("both have color %d", cu)})
+				}
 			}
 		}
-	}
-	if !dist2 {
 		return
 	}
-	// Distance-2 check via closed-neighborhood distinctness.
+	// A d2-coloring is equivalent to: for every node w, all colored nodes in
+	// {w} ∪ N(w) have distinct colors. Checking that form costs O(Σ deg²)
+	// CSR walks and — with the generation-stamped color table below — zero
+	// allocations per node, rather than materializing G².
+	//
+	// The dense table covers the well-formed color range [0, limit); colors
+	// outside it (huge values from an upstream overflow bug, or negative
+	// sentinels other than Uncolored) go through a small per-neighborhood map
+	// so that a corrupt coloring still yields a Report instead of an OOM —
+	// and so conflicts between out-of-range colors are still detected (the
+	// partial check has no palette bound to catch them otherwise).
+	maxColor := -1
+	for _, col := range c {
+		if col > maxColor {
+			maxColor = col
+		}
+	}
+	const denseColorLimit = 1 << 22 // 4M colors ≈ 48 MB of table, far above any sane palette
+	limit := 0
+	if maxColor >= 0 {
+		limit = denseColorLimit
+		if maxColor < denseColorLimit {
+			limit = maxColor + 1
+		}
+	}
+	seenGen := make([]uint32, limit) // generation stamp per color
+	seenBy := make([]graph.NodeID, limit)
+	gen := uint32(0)
+	var slow map[int]graph.NodeID // colors outside [0, limit), reset per neighborhood
 	for w := 0; w < g.NumNodes(); w++ {
-		seen := make(map[int]graph.NodeID, g.Degree(graph.NodeID(w))+1)
+		gen++
+		if len(slow) > 0 {
+			clear(slow)
+		}
 		consider := func(x graph.NodeID) {
 			cx := c[x]
 			if cx == coloring.Uncolored {
 				return
 			}
-			if prev, ok := seen[cx]; ok && prev != x {
-				rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
-					Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", cx, w)})
+			if cx >= 0 && cx < limit {
+				if seenGen[cx] == gen {
+					if prev := seenBy[cx]; prev != x {
+						rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
+							Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", cx, w)})
+					}
+					return
+				}
+				seenGen[cx] = gen
+				seenBy[cx] = x
 				return
 			}
-			seen[cx] = x
+			if slow == nil {
+				slow = make(map[int]graph.NodeID, 4)
+			}
+			if prev, ok := slow[cx]; ok {
+				if prev != x {
+					rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
+						Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", cx, w)})
+				}
+				return
+			}
+			slow[cx] = x
 		}
 		consider(graph.NodeID(w))
 		for _, v := range g.Neighbors(graph.NodeID(w)) {

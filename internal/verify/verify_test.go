@@ -184,3 +184,51 @@ func TestViolationCap(t *testing.T) {
 		t.Errorf("violations not capped: %d", len(rep.Violations))
 	}
 }
+
+func TestCheckPartialD2DetectsNegativeSentinelConflicts(t *testing.T) {
+	// Regression: a buggy negative color (any sentinel other than Uncolored)
+	// shared within distance 2 must still be reported — CheckPartialD2 has no
+	// palette bound, so the conflict scan is the only thing that can catch it.
+	g := graph.Path(3)
+	c := coloring.New(3)
+	c[0] = -2
+	c[2] = -2 // distance 2 through node 1
+	rep := CheckPartialD2(g, c)
+	if rep.Valid {
+		t.Fatal("two distance-2 nodes sharing color -2 must be invalid")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "conflict-d2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a conflict-d2 violation, got %v", rep.Violations)
+	}
+}
+
+func TestCheckD2SurvivesHugeColors(t *testing.T) {
+	// Regression: a corrupt coloring with an enormous color value must yield
+	// a Report (palette violation + detected conflicts), not an OOM-sized
+	// dense table or a makeslice panic.
+	g := graph.Path(3)
+	c := coloring.New(3)
+	huge := int(^uint(0) >> 1) // math.MaxInt
+	c[0] = huge
+	c[1] = 5
+	c[2] = huge // conflicts with node 0 at distance 2
+	rep := CheckD2(g, c, 10)
+	if rep.Valid {
+		t.Fatal("huge out-of-palette colors must be invalid")
+	}
+	foundConflict := false
+	for _, v := range rep.Violations {
+		if v.Kind == "conflict-d2" {
+			foundConflict = true
+		}
+	}
+	if !foundConflict {
+		t.Fatalf("the shared huge color must still be reported as a d2 conflict, got %v", rep.Violations)
+	}
+}
