@@ -279,14 +279,17 @@ func BenchmarkSquareGraph(b *testing.B) {
 	}
 }
 
-// BenchmarkTrialPhase measures the message-level cost of the color-trial
-// primitive (three simulated CONGEST rounds per phase).
-func BenchmarkTrialPhase(b *testing.B) {
+// BenchmarkTrialRun measures the end-to-end cost of one-phase trial runs on
+// a reused kernel: per-run reset plus the message-level cost of a phase
+// (three simulated CONGEST rounds). The warmed-up per-phase probe — which
+// must report 0 allocs/op — is BenchmarkTrialPhase in internal/trial.
+func BenchmarkTrialRun(b *testing.B) {
 	g := graph.GNPWithAverageDegree(1000, 12, 9)
 	palette := g.MaxDegree()*g.MaxDegree() + 1
+	r := trial.NewRunner(g, false, 0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := trial.Run(g, trial.Config{PaletteSize: palette, MaxPhases: 1, Seed: uint64(i)}); err != nil {
+		if _, err := r.Run(trial.Config{PaletteSize: palette, MaxPhases: 1, Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -29,10 +29,7 @@ func BenchmarkDeliver(b *testing.B) {
 			net := New(g, Config{Seed: 1, Parallel: parallel})
 			net.SetProcesses(func(v graph.NodeID) Process {
 				return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
-					// Small payload values stay in the runtime's static box
-					// cache, so the benchmark measures the plane, not
-					// interface boxing.
-					ctx.Broadcast(uint64(round & 1))
+					ctx.Broadcast(1, uint64(round&1))
 					return false
 				})
 			})
@@ -57,7 +54,7 @@ func BenchmarkDeliverSparse(b *testing.B) {
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			if v%100 == 0 {
-				ctx.Broadcast(uint64(round & 1))
+				ctx.Broadcast(1, uint64(round&1))
 			}
 			return false
 		})
@@ -81,5 +78,31 @@ func BenchmarkEdgeIndex(b *testing.B) {
 				_ = g.EdgeIndex()
 			}
 		})
+	}
+}
+
+// BenchmarkPayloadRound is the payload-allocation probe: every node
+// broadcasts a payload word too large for any runtime small-value cache, so
+// any residual boxing or per-message heap traffic would show up as allocs/op.
+// A warmed-up round must report 0 allocs/op — the message plane carries
+// payloads inline as uint64 words.
+func BenchmarkPayloadRound(b *testing.B) {
+	g := benchGraph()
+	net := New(g, Config{Seed: 1})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			sum := uint64(0)
+			for i := range inbox {
+				sum += inbox[i].Word
+			}
+			ctx.Broadcast(2, sum|0x1_0000_0000) // > 32 bits: never cached
+			return false
+		})
+	})
+	net.RunRounds(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.RunRounds(1)
 	}
 }

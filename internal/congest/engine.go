@@ -41,6 +41,11 @@ type Engine interface {
 	ChargeRounds(k int)
 	// AllHalted reports whether every node with a process has halted.
 	AllHalted() bool
+	// Reset rewinds the engine to round 0 with per-node randomness re-seeded
+	// from seed, keeping the installed processes, the ID assignment and every
+	// pooled buffer. A reset engine is byte-identical to a freshly
+	// constructed one with the same topology, processes and seed.
+	Reset(seed uint64)
 }
 
 // New creates a simulation over the given topology, selecting the engine

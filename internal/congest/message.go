@@ -15,11 +15,12 @@
 //     both the per-node state machines and message delivery on a pool of
 //     goroutines, sharded by node. The two are byte-deterministic with each
 //     other (identical message orders, colorings and Metrics);
-//   - a preallocated, edge-sliced message plane: every directed edge owns a
-//     fixed slot (graph.EdgeIndex), outbox buckets and inbox buffers are
-//     reused across rounds, and inboxes arrive sorted by sender by
-//     construction — a warmed-up simulation executes rounds without
-//     allocating;
+//   - a preallocated, edge-sliced message plane over unboxed messages: every
+//     directed edge owns a fixed slot (graph.EdgeIndex), outbox buckets and
+//     inbox buffers are reused across rounds, inboxes arrive sorted by sender
+//     by construction, and a message's payload is a plain uint64 word (see
+//     Message), so a warmed-up simulation executes rounds without touching
+//     the allocator at all — including the payloads;
 //   - bandwidth accounting: every message declares its size in O(log n)-bit
 //     words, and the simulator records the maximum per-edge per-round load
 //     and any violations of a configured bandwidth limit;
@@ -36,25 +37,39 @@ import (
 	"d2color/internal/graph"
 )
 
-// Message is a single CONGEST message. Payload is an arbitrary (typically
-// small struct) value; Words declares its size in O(log n)-bit words so the
-// simulator can account bandwidth. A Words value of 0 is treated as 1.
+// Kind is a small per-protocol message tag. Kinds are local to the protocol
+// running on a network: two different protocols may reuse the same values.
+// The tag models the constant number of message types a CONGEST protocol
+// distinguishes (its O(1) bits ride along with the payload word and are
+// charged inside the message's declared word count).
+type Kind uint8
+
+// Message is a single CONGEST message. The payload is a fixed-width word:
+// Kind says which of the protocol's message types this is, and Word carries
+// the O(log n)-bit content, encoded by the protocol's codec (see codec.go
+// and each protocol's encode/decode helpers). Words declares the size in
+// O(log n)-bit words for bandwidth accounting; 0 is treated as 1.
+//
+// The struct is deliberately flat — no interfaces, no pointers — so that the
+// message plane's per-edge buckets hold messages inline and a warmed-up
+// round never boxes a payload onto the heap.
 type Message struct {
-	From    graph.NodeID
-	To      graph.NodeID
-	Payload any
-	Words   int
+	From  graph.NodeID
+	To    graph.NodeID
+	Kind  Kind
+	Words uint16
+	Word  uint64
 }
 
 // words returns the accounted size of the message.
 func (m Message) words() int {
-	if m.Words <= 0 {
+	if m.Words == 0 {
 		return 1
 	}
-	return m.Words
+	return int(m.Words)
 }
 
 // String formats the message for diagnostics.
 func (m Message) String() string {
-	return fmt.Sprintf("msg %d→%d (%d words): %v", m.From, m.To, m.words(), m.Payload)
+	return fmt.Sprintf("msg %d→%d kind=%d (%d words): %#x", m.From, m.To, m.Kind, m.words(), m.Word)
 }

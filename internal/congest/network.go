@@ -217,6 +217,34 @@ func (c *engineCore) Metrics() Metrics {
 // Round returns the number of simulated rounds executed so far.
 func (c *engineCore) Round() int { return c.round }
 
+// Reset rewinds the engine to the state of a freshly constructed network
+// with the given seed, without reallocating any of its pooled round buffers:
+// the round counter, metrics and halted flags are cleared, pending messages
+// and inboxes are discarded, every node's private random stream is re-seeded
+// to rng.Split(seed, node), and the ID assignment is re-derived from the new
+// seed (a no-op allocation-wise for IDSequential; the randomized modes pay
+// their usual assignment cost). Installed processes are kept. Reset is what
+// makes a network reusable across runs — a reset engine behaves
+// byte-identically to a brand-new one with the same topology, processes,
+// Config and seed.
+func (c *engineCore) Reset(seed uint64) {
+	c.round = 0
+	c.metrics = Metrics{}
+	clear(c.halted)
+	for v := range c.inboxes {
+		c.inboxes[v] = c.inboxes[v][:0]
+	}
+	c.plane.advance() // logically clears every pending slot
+	for v := range c.rands {
+		c.rands[v].ResetSplit(seed, uint64(v))
+	}
+	if c.cfg.Seed != seed && c.cfg.IDs != IDSequential {
+		c.cfg.Seed = seed
+		c.assignIDs()
+	}
+	c.cfg.Seed = seed
+}
+
 // ID returns the model identifier assigned to node v.
 func (c *engineCore) ID(v graph.NodeID) uint64 { return c.ids[v] }
 
@@ -365,10 +393,12 @@ func (c *Context) NeighborUID(v graph.NodeID) uint64 { return c.core.ids[v] }
 // Rand returns this node's private random stream.
 func (c *Context) Rand() *rng.Source { return c.core.rands[c.id] }
 
-// Send queues a 1-word message to a neighbor for delivery next round. Sends
-// to non-neighbors are dropped and recorded as protocol violations.
-func (c *Context) Send(to graph.NodeID, payload any) error {
-	return c.SendWords(to, payload, 1)
+// Send queues a 1-word message to a neighbor for delivery next round. The
+// payload is a kind tag plus one word, encoded by the caller's codec (see
+// codec.go). Sends to non-neighbors are dropped and recorded as protocol
+// violations.
+func (c *Context) Send(to graph.NodeID, kind Kind, word uint64) error {
+	return c.SendWords(to, kind, word, 1)
 }
 
 // SendWords queues a message of the given word size to a neighbor. Sending
@@ -376,28 +406,48 @@ func (c *Context) Send(to graph.NodeID, payload any) error {
 // delivered) and Metrics.ProtocolViolations is incremented. Oversized
 // messages, by contrast, are delivered and accounted as bandwidth violations
 // at delivery time (see Config.BandwidthWords).
-func (c *Context) SendWords(to graph.NodeID, payload any, words int) error {
+func (c *Context) SendWords(to graph.NodeID, kind Kind, word uint64, words int) error {
 	e, ok := c.core.ix.Slot(c.id, to)
 	if !ok {
 		c.violations++
 		return fmt.Errorf("%w: %d → %d", ErrNotNeighbor, c.id, to)
 	}
-	c.core.plane.put(e, Message{From: c.id, To: to, Payload: payload, Words: words})
-	c.msgs++
 	if words <= 0 {
 		words = 1
 	}
+	c.core.plane.put(e, Message{From: c.id, To: to, Kind: kind, Word: word, Words: clampWords(words)})
+	c.msgs++
 	c.words += words
 	return nil
+}
+
+// SendToNeighbor queues a 1-word message to this node's i-th neighbor (in
+// sorted neighbor order), addressing the out-slot directly (base+i) instead
+// of paying Send's O(log deg) neighbor lookup. i must be in [0, Degree());
+// it is not range-checked beyond the slice bounds.
+func (c *Context) SendToNeighbor(i int, kind Kind, word uint64) {
+	c.core.plane.put(c.base+int32(i), Message{From: c.id, To: c.nbrs[i], Kind: kind, Word: word, Words: 1})
+	c.msgs++
+	c.words++
 }
 
 // Broadcast sends the same payload to every neighbor (1 word each). The i-th
 // neighbor's slot is addressed directly (base+i), so a broadcast does not
 // pay the per-send neighbor lookup.
-func (c *Context) Broadcast(payload any) {
+func (c *Context) Broadcast(kind Kind, word uint64) {
 	for i, v := range c.nbrs {
-		c.core.plane.put(c.base+int32(i), Message{From: c.id, To: v, Payload: payload, Words: 1})
+		c.core.plane.put(c.base+int32(i), Message{From: c.id, To: v, Kind: kind, Word: word, Words: 1})
 	}
 	c.msgs += len(c.nbrs)
 	c.words += len(c.nbrs)
+}
+
+// clampWords saturates a declared word count into the Message.Words field.
+// 2¹⁶-1 words is far beyond any O(log n)-bit discipline; the accounting in
+// Context.words (an int) stays exact either way.
+func clampWords(words int) uint16 {
+	if words > int(^uint16(0)) {
+		return ^uint16(0)
+	}
+	return uint16(words)
 }

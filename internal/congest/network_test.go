@@ -8,6 +8,12 @@ import (
 	"d2color/internal/graph"
 )
 
+// Test-local message kinds.
+const (
+	kindTestFlood Kind = iota + 1
+	kindTestData
+)
+
 // broadcastMaxProcess floods the maximum UID seen so far and halts after a
 // fixed number of rounds. It is used to exercise the engine end to end.
 type broadcastMaxProcess struct {
@@ -20,14 +26,14 @@ func (p *broadcastMaxProcess) Step(ctx *Context, round int, inbox []Message) boo
 		p.best = ctx.UID()
 	}
 	for _, m := range inbox {
-		if v, ok := m.Payload.(uint64); ok && v > p.best {
-			p.best = v
+		if m.Kind == kindTestFlood && m.Word > p.best {
+			p.best = m.Word
 		}
 	}
 	if round >= p.maxRound {
 		return true
 	}
-	ctx.Broadcast(p.best)
+	ctx.Broadcast(kindTestFlood, p.best)
 	return false
 }
 
@@ -103,7 +109,7 @@ func TestSendToNonNeighborIsViolation(t *testing.T) {
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			if ctx.NodeID() == 0 && round == 0 {
-				if err := ctx.Send(2, "hi"); !errors.Is(err, ErrNotNeighbor) {
+				if err := ctx.Send(2, kindTestData, 0x41); !errors.Is(err, ErrNotNeighbor) {
 					t.Errorf("Send to non-neighbor = %v, want ErrNotNeighbor", err)
 				}
 			}
@@ -127,7 +133,7 @@ func TestBandwidthAccounting(t *testing.T) {
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			if ctx.NodeID() == 0 && round == 0 {
-				_ = ctx.SendWords(1, "big", 5)
+				_ = ctx.SendWords(1, kindTestData, 0xB16, 5)
 			}
 			return round >= 1
 		})
@@ -282,7 +288,7 @@ func TestPropertyDeliveryNextRoundSorted(t *testing.T) {
 						}
 					}
 				}
-				ctx.Broadcast(round)
+				ctx.Broadcast(kindTestData, uint64(round))
 				return round >= 1
 			})
 		})
@@ -305,7 +311,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 				// Random gossip: send a random value to a random neighbor.
 				if ctx.Degree() > 0 {
 					to := ctx.Neighbors()[ctx.Rand().Intn(ctx.Degree())]
-					_ = ctx.Send(to, ctx.Rand().Uint64())
+					_ = ctx.Send(to, kindTestData, ctx.Rand().Uint64())
 				}
 				return round >= 5
 			})
@@ -333,11 +339,11 @@ func TestViolationSemantics(t *testing.T) {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			if round == 0 && ctx.NodeID() == 0 {
 				// Oversized (5 > 2 words) but to a neighbor: delivered.
-				if err := ctx.SendWords(1, "big", 5); err != nil {
+				if err := ctx.SendWords(1, kindTestData, 0xB16, 5); err != nil {
 					t.Errorf("oversized send to neighbor returned %v", err)
 				}
 				// Non-neighbor: dropped.
-				if err := ctx.Send(2, "ghost"); !errors.Is(err, ErrNotNeighbor) {
+				if err := ctx.Send(2, kindTestData, 0x6057); !errors.Is(err, ErrNotNeighbor) {
 					t.Errorf("send to non-neighbor = %v, want ErrNotNeighbor", err)
 				}
 			}
@@ -350,7 +356,7 @@ func TestViolationSemantics(t *testing.T) {
 	if _, err := net.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if len(got) != 1 || got[0].Payload != "big" || got[0].To != 1 {
+	if len(got) != 1 || got[0].Word != 0xB16 || got[0].To != 1 {
 		t.Fatalf("delivered messages = %v, want exactly the oversized message at node 1", got)
 	}
 	m := net.Metrics()
@@ -403,9 +409,9 @@ func TestMultipleMessagesPerEdgePerRound(t *testing.T) {
 		net.SetProcesses(func(v graph.NodeID) Process {
 			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 				if round == 0 && ctx.NodeID() == 0 {
-					_ = ctx.Send(1, "first")
-					_ = ctx.Send(1, "second")
-					_ = ctx.Send(1, "third")
+					_ = ctx.Send(1, kindTestData, 1)
+					_ = ctx.Send(1, kindTestData, 2)
+					_ = ctx.Send(1, kindTestData, 3)
 				}
 				if round == 1 && ctx.NodeID() == 1 {
 					got = append(got, inbox...)
@@ -416,8 +422,8 @@ func TestMultipleMessagesPerEdgePerRound(t *testing.T) {
 		if _, err := net.Run(); err != nil {
 			t.Fatalf("parallel=%v Run: %v", parallel, err)
 		}
-		if len(got) != 3 || got[0].Payload != "first" || got[1].Payload != "second" || got[2].Payload != "third" {
-			t.Fatalf("parallel=%v inbox = %v, want first/second/third in send order", parallel, got)
+		if len(got) != 3 || got[0].Word != 1 || got[1].Word != 2 || got[2].Word != 3 {
+			t.Fatalf("parallel=%v inbox = %v, want words 1/2/3 in send order", parallel, got)
 		}
 	}
 }
@@ -440,7 +446,7 @@ func TestSteadyStateRoundsDoNotAllocate(t *testing.T) {
 	net := New(g, Config{Seed: 1})
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
-			ctx.Broadcast(uint64(round & 1))
+			ctx.Broadcast(kindTestData, uint64(round&1))
 			return false
 		})
 	})
@@ -448,5 +454,87 @@ func TestSteadyStateRoundsDoNotAllocate(t *testing.T) {
 	allocs := testing.AllocsPerRun(10, func() { net.RunRounds(1) })
 	if allocs > 0 {
 		t.Errorf("steady-state round allocated %.1f times, want 0", allocs)
+	}
+}
+
+// Reset must rewind an engine to the exact state of a freshly constructed
+// one: same results, same metrics, same (seed-derived) IDs, for either
+// engine implementation and for seed-dependent ID assignments.
+func TestResetMatchesFreshEngine(t *testing.T) {
+	g := graph.GNP(60, 0.08, 5)
+	for _, ids := range []IDAssignment{IDSequential, IDRandomPermutation, IDSparseRandom} {
+		testResetMatchesFreshEngine(t, g, ids)
+	}
+}
+
+func testResetMatchesFreshEngine(t *testing.T, g *graph.Graph, ids IDAssignment) {
+	for _, parallel := range []bool{false, true} {
+		run := func(net Engine) ([]uint64, Metrics) {
+			if _, err := net.Run(); err != nil {
+				t.Fatalf("parallel=%v Run: %v", parallel, err)
+			}
+			out := make([]uint64, g.NumNodes())
+			for v := range out {
+				out[v] = net.ID(graph.NodeID(v))
+			}
+			return out, net.Metrics()
+		}
+		install := func(net Engine) []*broadcastMaxProcess {
+			procs := make([]*broadcastMaxProcess, g.NumNodes())
+			net.SetProcesses(func(v graph.NodeID) Process {
+				procs[v] = &broadcastMaxProcess{maxRound: g.NumNodes() / 2}
+				return procs[v]
+			})
+			return procs
+		}
+		for _, seed := range []uint64{3, 77} {
+			fresh := New(g, Config{Seed: seed, IDs: ids, Parallel: parallel})
+			fp := install(fresh)
+			fid, fm := run(fresh)
+
+			reused := New(g, Config{Seed: 12345, IDs: ids, Parallel: parallel})
+			rp := install(reused)
+			run(reused) // dirty the plane, inboxes, metrics and RNG streams
+			reused.Reset(seed)
+			for v := range rp {
+				*rp[v] = broadcastMaxProcess{maxRound: g.NumNodes() / 2}
+			}
+			rid, rm := run(reused)
+
+			if fm != rm {
+				t.Fatalf("ids=%d parallel=%v seed=%d: metrics differ\nfresh: %v\nreset: %v", ids, parallel, seed, fm, rm)
+			}
+			for v := range fp {
+				if fid[v] != rid[v] {
+					t.Fatalf("ids=%d parallel=%v seed=%d node %d: fresh ID %d, reset ID %d",
+						ids, parallel, seed, v, fid[v], rid[v])
+				}
+				if fp[v].best != rp[v].best {
+					t.Fatalf("ids=%d parallel=%v seed=%d node %d: fresh best %d, reset best %d",
+						ids, parallel, seed, v, fp[v].best, rp[v].best)
+				}
+			}
+		}
+	}
+}
+
+// A reset engine must not allocate beyond its first warm-up: the pooled
+// buffers survive the reset.
+func TestResetDoesNotAllocate(t *testing.T) {
+	g := graph.GNP(100, 0.06, 2)
+	net := New(g, Config{Seed: 1})
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			ctx.Broadcast(kindTestData, uint64(round))
+			return false
+		})
+	})
+	net.RunRounds(2)
+	allocs := testing.AllocsPerRun(10, func() {
+		net.Reset(7)
+		net.RunRounds(2)
+	})
+	if allocs > 0 {
+		t.Errorf("reset + warmed rounds allocated %.1f times, want 0", allocs)
 	}
 }

@@ -18,6 +18,14 @@ import (
 // expected final state (e.g. run on a disconnected graph).
 var ErrProtocol = errors.New("congest: protocol failed")
 
+// Message kinds of the built-in protocols. Kinds are scoped to the network a
+// protocol runs on, so these values are free for reuse by other protocols.
+const (
+	kindFloodUID   Kind = iota + 1 // Word = the flooded UID
+	kindBFSDepth                   // Word = sender's BFS depth
+	kindPartialSum                 // Word = EncodeInt64(partial subtree sum)
+)
+
 // FloodMaxResult is the outcome of FloodMax.
 type FloodMaxResult struct {
 	// LeaderUID is the maximum UID in each node's component, indexed by node.
@@ -39,8 +47,8 @@ func (p *floodMaxProcess) Step(ctx *Context, round int, inbox []Message) bool {
 	}
 	changed := round == 0
 	for _, m := range inbox {
-		if v, ok := m.Payload.(uint64); ok && v > p.best {
-			p.best = v
+		if m.Kind == kindFloodUID && m.Word > p.best {
+			p.best = m.Word
 			changed = true
 		}
 	}
@@ -48,7 +56,7 @@ func (p *floodMaxProcess) Step(ctx *Context, round int, inbox []Message) bool {
 		return true
 	}
 	if changed {
-		ctx.Broadcast(p.best)
+		ctx.Broadcast(kindFloodUID, p.best)
 	}
 	return false
 }
@@ -87,8 +95,6 @@ type BFSTreeResult struct {
 	Metrics Metrics
 }
 
-type bfsPayload struct{ Depth int }
-
 type bfsProcess struct {
 	root     bool
 	joined   bool
@@ -102,15 +108,15 @@ func (p *bfsProcess) Step(ctx *Context, round int, inbox []Message) bool {
 		p.joined = true
 		p.depth = 0
 		p.parent = ctx.NodeID()
-		ctx.Broadcast(bfsPayload{Depth: 0})
+		ctx.Broadcast(kindBFSDepth, 0)
 	}
 	if !p.joined {
 		for _, m := range inbox {
-			if pl, ok := m.Payload.(bfsPayload); ok {
+			if m.Kind == kindBFSDepth {
 				p.joined = true
 				p.parent = m.From
-				p.depth = pl.Depth + 1
-				ctx.Broadcast(bfsPayload{Depth: p.depth})
+				p.depth = int(m.Word) + 1
+				ctx.Broadcast(kindBFSDepth, uint64(p.depth))
 				break
 			}
 		}
@@ -170,7 +176,6 @@ func ConvergecastSum(g *graph.Graph, cfg Config, tree BFSTreeResult, values []in
 			maxDepth = d
 		}
 	}
-	type partial struct{ Sum int64 }
 	sums := make([]int64, n)
 	copy(sums, values)
 
@@ -179,8 +184,8 @@ func ConvergecastSum(g *graph.Graph, cfg Config, tree BFSTreeResult, values []in
 	net.SetProcesses(func(v graph.NodeID) Process {
 		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 			for _, m := range inbox {
-				if p, ok := m.Payload.(partial); ok {
-					sums[v] += p.Sum
+				if m.Kind == kindPartialSum {
+					sums[v] += DecodeInt64(m.Word)
 				}
 			}
 			depth := tree.Depth[v]
@@ -195,7 +200,7 @@ func ConvergecastSum(g *graph.Graph, cfg Config, tree BFSTreeResult, values []in
 					rootTotal = sums[v]
 					return true
 				}
-				_ = ctx.Send(tree.Parent[v], partial{Sum: sums[v]})
+				_ = ctx.Send(tree.Parent[v], kindPartialSum, EncodeInt64(sums[v]))
 				return true
 			}
 			return false

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"d2color/internal/baseline"
 	"d2color/internal/graph"
@@ -22,12 +24,55 @@ func log2f(x int) float64 {
 // runRandAveraged runs the randomized algorithm `reps` times with different
 // seeds and returns the average total rounds, average active rounds and the
 // worst-case colors used.
+//
+// Runs with distinct seeds are independent, so the repetitions fan out over
+// a bounded worker pool (cfg.repWorkers()); each worker owns one reusable
+// trial kernel, so a worker's repetitions share the kernel's network and
+// flat per-node state instead of rebuilding them per run. Results are folded
+// in repetition order, so the averages and the sampled first repetition are
+// byte-identical to a serial execution.
 func runRandAveraged(g *graph.Graph, variant randd2.Variant, cfg Config, reps int) (avgTotal, avgActive float64, maxColors int, sample *randd2.Result, err error) {
-	for i := 0; i < reps; i++ {
-		res, rerr := randd2.Run(g, randd2.Options{Variant: variant, Seed: cfg.Seed + uint64(i)*101, Parallel: cfg.Parallel})
-		if rerr != nil {
-			return 0, 0, 0, nil, rerr
+	results := make([]randd2.Result, reps)
+	errs := make([]error, reps)
+	workers := cfg.repWorkers()
+	if workers > reps {
+		workers = reps
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// The rep pool already saturates the cores, so each worker
+				// runs the byte-deterministic sequential engine: nesting a
+				// sharded engine per worker would only add scheduling
+				// overhead without changing a single table cell.
+				tk := trial.NewRunner(g, false, 0)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= reps {
+						return
+					}
+					results[i], errs[i] = randd2.Run(g, randd2.Options{Variant: variant,
+						Seed: cfg.Seed + uint64(i)*101, TrialKernel: tk})
+				}
+			}()
 		}
+		wg.Wait()
+	} else {
+		tk := trial.NewRunner(g, cfg.Parallel, 0)
+		for i := 0; i < reps; i++ {
+			results[i], errs[i] = randd2.Run(g, randd2.Options{Variant: variant,
+				Seed: cfg.Seed + uint64(i)*101, Parallel: cfg.Parallel, TrialKernel: tk})
+		}
+	}
+	for i := 0; i < reps; i++ {
+		if errs[i] != nil {
+			return 0, 0, 0, nil, errs[i]
+		}
+		res := results[i]
 		avgTotal += float64(res.Metrics.TotalRounds())
 		avgActive += float64(res.ActiveRounds)
 		if c := res.Coloring.NumColorsUsed(); c > maxColors {

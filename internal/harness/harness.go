@@ -10,6 +10,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 )
 
@@ -26,6 +27,11 @@ type Config struct {
 	// the sharded-parallel CONGEST engine. The engines are byte-deterministic
 	// with each other, so the generated tables are identical either way.
 	Parallel bool
+	// Workers bounds the worker pool that fans out averaged repetitions
+	// (independent runs with distinct seeds); 0 means GOMAXPROCS, 1 disables
+	// the fan-out. The fold is performed in repetition order, so tables are
+	// byte-identical for every Workers value.
+	Workers int
 }
 
 func (c Config) reps() int {
@@ -36,6 +42,14 @@ func (c Config) reps() int {
 		return 1
 	}
 	return 3
+}
+
+// repWorkers resolves the repetition fan-out bound.
+func (c Config) repWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Experiment is one reproducible experiment.

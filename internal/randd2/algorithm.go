@@ -57,6 +57,14 @@ type Options struct {
 	// Used by tests and by experiments that want the randomized path on small
 	// graphs.
 	DisableDeterministicFallback bool
+	// TrialKernel optionally injects a reusable trial kernel built for the
+	// same graph (trial.NewRunner). Repeated runs on one topology — the
+	// harness's averaged repetitions, parameter sweeps — then share the
+	// kernel's network, processes and flat state instead of rebuilding them
+	// per run. The kernel's engine selection overrides Parallel/Workers; a
+	// kernel must not be shared between concurrent runs. nil means build one
+	// internally.
+	TrialKernel *trial.Runner
 }
 
 // Result is the outcome of a run.
@@ -120,7 +128,13 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 		}, nil
 	}
 
-	r := newRunner(g, params, opts.Seed)
+	tk := opts.TrialKernel
+	if tk == nil {
+		tk = trial.NewRunner(g, opts.Parallel, opts.Workers)
+	} else if tk.Graph() != g {
+		return Result{}, fmt.Errorf("randd2: injected trial kernel was built for a different graph")
+	}
+	r := newRunner(g, params, opts.Seed, tk)
 	res := Result{Variant: opts.Variant, PaletteSize: r.palette}
 
 	// Step 1: form the similarity graphs H and Ĥ (Section 2.3).
@@ -131,13 +145,11 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	// Step 2: c0·log n phases of whole-palette random colour trials, simulated
 	// message-by-message on the CONGEST simulator.
 	initialPhases := int(math.Ceil(params.C0 * log2(n)))
-	tr, err := trial.Run(g, trial.Config{
+	tr, err := r.tk.Run(trial.Config{
 		PaletteSize: r.palette,
 		Scope:       trial.ScopeDistance2,
 		MaxPhases:   initialPhases,
 		Seed:        opts.Seed ^ 0x1234,
-		Parallel:    opts.Parallel,
-		Workers:     opts.Workers,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("randd2: initial phase: %w", err)
@@ -204,11 +216,11 @@ func (r *runner) fallbackTrials(params Params) (int, error) {
 	}
 	phases := 0
 	for ; phases < maxPhases && r.liveLeft > 0; phases++ {
-		tries := make(map[graph.NodeID]int)
-		for _, v := range r.liveNodes() {
-			tries[v] = r.rand[v].Intn(r.palette)
+		r.beginTries()
+		for _, v := range r.live {
+			r.setTry(v, r.rand[v].Intn(r.palette))
 		}
-		r.resolveTries(tries)
+		r.resolveTries()
 		r.charge(3)
 	}
 	if r.liveLeft > 0 {

@@ -32,7 +32,7 @@ type PaletteStats struct {
 // O(ϕ) for the floodings of steps 1–2 plus O(log n) for steps 3–7, which is
 // O(log n) when Δ = Ω(log n). We charge ϕ + 4·log₂ n.
 func (r *runner) learnPalette() (remaining [][]int, stats PaletteStats) {
-	live := r.liveNodes()
+	live := r.live
 	stats.LiveNodes = len(live)
 	remaining = make([][]int, r.n)
 
@@ -128,8 +128,8 @@ func (r *runner) finishColoring(remaining [][]int) (FinishStats, error) {
 
 	for phase := 0; phase < maxPhases && r.liveLeft > 0; phase++ {
 		stats.Phases++
-		tries := make(map[graph.NodeID]int)
-		for _, v := range r.liveNodes() {
+		r.beginTries()
+		for _, v := range r.live {
 			if avail[v] == nil || len(avail[v]) == 0 {
 				// Cannot happen for a correct remaining palette (it always
 				// contains at least live-degree+1 colours); guard anyway.
@@ -140,9 +140,9 @@ func (r *runner) finishColoring(remaining [][]int) (FinishStats, error) {
 				continue
 			}
 			pick := r.rand[v].Intn(len(avail[v]))
-			tries[v] = nthFromSet(avail[v], pick)
+			r.setTry(v, nthFromSet(avail[v], pick))
 		}
-		colored := r.resolveTries(tries)
+		colored := r.resolveTries()
 		for _, v := range colored {
 			c := r.col[v]
 			r.d2.ForEachDist2(v, func(u graph.NodeID) bool {

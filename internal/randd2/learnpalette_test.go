@@ -32,6 +32,7 @@ func TestLearnPaletteExactness(t *testing.T) {
 		r.col[v] = c
 		r.liveLeft--
 	}
+	r.compactLive()
 	remaining, stats := r.learnPalette()
 	if stats.LiveNodes != 20 {
 		t.Fatalf("live nodes = %d, want 20", stats.LiveNodes)
@@ -39,7 +40,7 @@ func TestLearnPaletteExactness(t *testing.T) {
 	if stats.ChargedRounds <= 0 {
 		t.Error("LearnPalette should charge rounds")
 	}
-	for _, v := range r.liveNodes() {
+	for _, v := range r.live {
 		want := sparsity.Leeway(r.d2, r.col, r.palette, v)
 		if len(remaining[v]) != want {
 			t.Fatalf("node %d: remaining palette size %d, want leeway %d", v, len(remaining[v]), want)
@@ -81,10 +82,11 @@ func TestFinishColoringRespectsPreexistingColors(t *testing.T) {
 	r := newTestRunner(t, g, Default(), 4)
 	r.col[0] = 5
 	r.liveLeft--
+	r.compactLive()
 	remaining, _ := r.learnPalette()
 	// Node 0's colour must not appear in any live node's remaining palette
 	// (everyone is within distance 2 of node 0 on the Petersen graph).
-	for _, v := range r.liveNodes() {
+	for _, v := range r.live {
 		for _, c := range remaining[v] {
 			if c == 5 {
 				t.Fatalf("node %d offered colour 5, already used by its d2-neighbour 0", v)
@@ -119,6 +121,7 @@ func TestLearnPaletteOnFullyColoredGraph(t *testing.T) {
 		r.col[v] = v
 	}
 	r.liveLeft = 0
+	r.compactLive()
 	remaining, stats := r.learnPalette()
 	if stats.LiveNodes != 0 || stats.MaxLivePerNbr != 0 {
 		t.Errorf("stats = %+v, want no live nodes", stats)

@@ -105,13 +105,15 @@ func (r *runner) reducePhase(phi, activeProb float64, ru [][]graph.NodeID, phase
 	queryProb := 1 / (r.params.QueryDenominator * phi)
 
 	// Step 0 (implicit): each live node decides whether it is active. The
-	// slice is built in node order so the run is deterministic per seed.
-	var active []graph.NodeID
-	for _, v := range r.liveNodes() {
+	// slice is built in node order (the live list stays ascending) so the
+	// run is deterministic per seed; the buffer is reused across phases.
+	active := r.activeScratch[:0]
+	for _, v := range r.live {
 		if r.rand[v].Bernoulli(activeProb) {
 			active = append(active, v)
 		}
 	}
+	r.activeScratch = active
 	if len(active) == 0 {
 		return st
 	}
@@ -220,14 +222,14 @@ func (r *runner) reducePhase(phi, activeProb float64, ru [][]graph.NodeID, phase
 
 	// Step 6: every active live node with proposals tries one chosen
 	// uniformly at random; simultaneous conflicting tries all fail.
-	tries := make(map[graph.NodeID]int, len(proposals))
+	r.beginTries()
 	for v, colors := range proposals {
 		if !r.isLive(v) {
 			continue
 		}
-		tries[v] = colors[r.rand[v].Intn(len(colors))]
+		r.setTry(v, colors[r.rand[v].Intn(len(colors))])
 	}
-	st.colored = len(r.resolveTries(tries))
+	st.colored = len(r.resolveTries())
 	return st
 }
 

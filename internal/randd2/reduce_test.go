@@ -5,13 +5,14 @@ import (
 
 	"d2color/internal/coloring"
 	"d2color/internal/graph"
+	"d2color/internal/trial"
 	"d2color/internal/verify"
 )
 
 // newTestRunner builds a runner with the similarity graphs already in place.
 func newTestRunner(t *testing.T, g *graph.Graph, p Params, seed uint64) *runner {
 	t.Helper()
-	r := newRunner(g, p, seed)
+	r := newRunner(g, p, seed, trial.NewRunner(g, false, 0))
 	r.sim = buildSimilarity(g, r.d2, r.delta, p, seed)
 	return r
 }
@@ -22,7 +23,11 @@ func TestResolveTriesSemantics(t *testing.T) {
 	r := newTestRunner(t, g, Default(), 1)
 
 	// Two nodes trying the same color both fail; distinct colors succeed.
-	colored := r.resolveTries(map[graph.NodeID]int{1: 3, 2: 3, 3: 4})
+	r.beginTries()
+	r.setTry(1, 3)
+	r.setTry(2, 3)
+	r.setTry(3, 4)
+	colored := r.resolveTries()
 	if len(colored) != 1 || colored[0] != 3 {
 		t.Fatalf("colored = %v, want only node 3", colored)
 	}
@@ -30,15 +35,21 @@ func TestResolveTriesSemantics(t *testing.T) {
 		t.Fatalf("coloring after tries: %v", r.col)
 	}
 	// A try conflicting with an existing color fails.
-	if got := r.resolveTries(map[graph.NodeID]int{1: 4}); len(got) != 0 {
+	r.beginTries()
+	r.setTry(1, 4)
+	if got := r.resolveTries(); len(got) != 0 {
 		t.Error("try of an already used color within distance 2 should fail")
 	}
 	// Colors outside the palette are ignored.
-	if got := r.resolveTries(map[graph.NodeID]int{1: r.palette + 5}); len(got) != 0 {
+	r.beginTries()
+	r.setTry(1, r.palette+5)
+	if got := r.resolveTries(); len(got) != 0 {
 		t.Error("out-of-palette try should be ignored")
 	}
 	// Already-colored nodes cannot try again.
-	if got := r.resolveTries(map[graph.NodeID]int{3: 7}); len(got) != 0 {
+	r.beginTries()
+	r.setTry(3, 7)
+	if got := r.resolveTries(); len(got) != 0 {
 		t.Error("colored node should not be recolored")
 	}
 	if rep := verify.CheckPartialD2(g, r.col); !rep.Valid {
@@ -55,6 +66,7 @@ func TestColorUsedByColoredD2Neighbor(t *testing.T) {
 	r := newTestRunner(t, g, Default(), 1)
 	r.col[0] = 2
 	r.liveLeft--
+	r.compactLive()
 	if !r.colorUsedByColoredD2Neighbor(2, 2) {
 		t.Error("node 2 is at distance 2 from node 0; color 2 should be reported used")
 	}
@@ -78,8 +90,8 @@ func TestAdoptColoring(t *testing.T) {
 	if r.liveLeft != 4 {
 		t.Errorf("liveLeft after re-adoption = %d, want 4", r.liveLeft)
 	}
-	if got := len(r.liveNodes()); got != 4 {
-		t.Errorf("liveNodes() = %d, want 4", got)
+	if got := len(r.live); got != 4 {
+		t.Errorf("live list length = %d, want 4", got)
 	}
 }
 
@@ -132,6 +144,7 @@ func TestReduceOnMooreGraphMakesProgress(t *testing.T) {
 		r.col[v] = c
 		r.liveLeft--
 	}
+	r.compactLive()
 	stats := r.reduce(float64(r.palette), float64(r.palette)/2)
 	if stats.QueriesSent == 0 {
 		t.Fatal("expected queries on a zero-sparsity graph with aggressive probabilities")

@@ -29,7 +29,17 @@ func New(seed uint64) *Source {
 // SplitMix64 finalizer so that nearby (seed, index) pairs produce unrelated
 // streams.
 func Split(seed uint64, index uint64) *Source {
-	return &Source{state: mix64(seed) ^ mix64(index*0x9E3779B97F4A7C15+0xD1B54A32D192ED03)}
+	s := &Source{}
+	s.ResetSplit(seed, index)
+	return s
+}
+
+// ResetSplit rewinds s in place to the beginning of the stream that
+// Split(seed, index) produces, without allocating. The CONGEST engines use
+// it to re-seed their pooled per-node sources when a network is reset for a
+// fresh run.
+func (s *Source) ResetSplit(seed uint64, index uint64) {
+	s.state = mix64(seed) ^ mix64(index*0x9E3779B97F4A7C15+0xD1B54A32D192ED03)
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -1,0 +1,175 @@
+package trial
+
+import (
+	"fmt"
+	"testing"
+
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+	"d2color/internal/rng"
+)
+
+// kernelConfigs is a spread of trial configurations exercising every code
+// path of the kernel: both scopes, the known-colors picker, partial activity
+// and an initial coloring.
+func kernelConfigs(g *graph.Graph, seed uint64) []Config {
+	delta := g.MaxDegree()
+	init := coloring.New(g.NumNodes())
+	init[0] = 3
+	return []Config{
+		{PaletteSize: delta*delta + 1, Scope: ScopeDistance2, Seed: seed},
+		{PaletteSize: delta + 1, Scope: ScopeDistance1, Seed: seed, AvoidKnownUsed: true},
+		{PaletteSize: 2*delta*delta + 5, Scope: ScopeDistance2, Seed: seed, ActiveProbability: 0.5, MaxPhases: 6},
+		{PaletteSize: delta*delta + 4, Scope: ScopeDistance2, Seed: seed, Initial: init},
+	}
+}
+
+// A Runner re-run with a new config must behave byte-identically to a fresh
+// kernel on a fresh network — same colorings, same phases, same Metrics —
+// for either engine, across seeds, even when the configs alternate scopes
+// and pickers between runs.
+func TestRunnerReuseMatchesFreshRuns(t *testing.T) {
+	g := graph.GNP(80, 0.07, 11)
+	for _, parallel := range []bool{false, true} {
+		reused := NewRunner(g, parallel, 0)
+		for _, seed := range []uint64{1, 7, 42} {
+			for i, cfg := range kernelConfigs(g, seed) {
+				t.Run(fmt.Sprintf("parallel=%v/seed=%d/cfg=%d", parallel, seed, i), func(t *testing.T) {
+					fresh, err := Run(g, Config{PaletteSize: cfg.PaletteSize, Scope: cfg.Scope,
+						MaxPhases: cfg.MaxPhases, ActiveProbability: cfg.ActiveProbability,
+						AvoidKnownUsed: cfg.AvoidKnownUsed, Seed: cfg.Seed, Initial: cfg.Initial,
+						Parallel: parallel})
+					if err != nil {
+						t.Fatalf("fresh: %v", err)
+					}
+					again, err := reused.Run(cfg)
+					if err != nil {
+						t.Fatalf("reused: %v", err)
+					}
+					if fresh.Phases != again.Phases || fresh.Complete != again.Complete {
+						t.Fatalf("phases/complete differ: fresh (%d,%v) vs reused (%d,%v)",
+							fresh.Phases, fresh.Complete, again.Phases, again.Complete)
+					}
+					if fresh.Metrics != again.Metrics {
+						t.Fatalf("metrics differ:\nfresh:  %v\nreused: %v", fresh.Metrics, again.Metrics)
+					}
+					for v := range fresh.Coloring {
+						if fresh.Coloring[v] != again.Coloring[v] {
+							t.Fatalf("node %d: fresh color %d, reused color %d",
+								v, fresh.Coloring[v], again.Coloring[v])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// A run-to-completion run that cannot complete must surface the exhausted
+// phase budget distinctly instead of silently returning incomplete.
+func TestPhaseBudgetExhaustedIsSurfaced(t *testing.T) {
+	g := graph.Complete(12)
+	// One color for a clique's square can never complete.
+	res, err := Run(g, Config{PaletteSize: 1, Seed: 1, PhaseCap: 9})
+	if err == nil {
+		t.Fatal("impossible run-to-completion config should return an error")
+	}
+	if !res.BudgetExhausted {
+		t.Error("Result.BudgetExhausted should be set")
+	}
+	if res.Complete {
+		t.Error("run cannot be complete")
+	}
+	if res.Phases != 9 {
+		t.Errorf("phases = %d, want the PhaseCap 9", res.Phases)
+	}
+	// An explicit MaxPhases cap is an expected partial run: no error.
+	res, err = Run(g, Config{PaletteSize: 1, Seed: 1, MaxPhases: 5})
+	if err != nil {
+		t.Fatalf("explicitly capped run should not error: %v", err)
+	}
+	if res.Complete || res.BudgetExhausted {
+		t.Errorf("capped run: complete=%v budgetExhausted=%v, want false/false", res.Complete, res.BudgetExhausted)
+	}
+}
+
+// The default backstop scales with log n, not n.
+func TestDefaultPhaseCapScalesLogarithmically(t *testing.T) {
+	if c := defaultPhaseCap(1); c != 128 {
+		t.Errorf("defaultPhaseCap(1) = %d, want 128", c)
+	}
+	c10k := defaultPhaseCap(10_000)
+	if c10k != 64*14+128 {
+		t.Errorf("defaultPhaseCap(10000) = %d, want %d", c10k, 64*14+128)
+	}
+	if c1m := defaultPhaseCap(1_000_000); c1m >= 10_000 {
+		t.Errorf("defaultPhaseCap(1e6) = %d; the backstop must stay logarithmic", c1m)
+	}
+}
+
+// conflictPicker makes every live node propose color 0 every phase: all
+// proposals collide at distance 2, nobody ever adopts, and every phase
+// carries full message traffic — the steady-state worst case.
+func conflictPicker(v graph.NodeID, _ *rng.Source, paletteSize int) int { return 0 }
+
+// The warmed-up kernel must execute a full-traffic phase without a single
+// heap allocation: payloads travel as words, per-node state lives in flat
+// arrays, and the completion check is a counter read.
+func TestWarmPhaseDoesNotAllocate(t *testing.T) {
+	g := graph.GNPWithAverageDegree(2_000, 12, 21)
+	r := NewRunner(g, false, 0)
+	if err := r.Start(Config{PaletteSize: g.MaxDegree()*g.MaxDegree() + 1,
+		Scope: ScopeDistance2, Seed: 5, Picker: conflictPicker}); err != nil {
+		t.Fatal(err)
+	}
+	r.Phase() // warm-up: plane buckets and inboxes grow to steady state
+	allocs := testing.AllocsPerRun(10, func() { r.Phase() })
+	if allocs > 0 {
+		t.Errorf("warmed-up phase allocated %.1f times, want 0", allocs)
+	}
+}
+
+// benchWarmedTrialPhase is the shared body of BenchmarkTrialPhase and
+// TestTrialPhaseAllocFree: one warmed-up trial phase (three simulated
+// CONGEST rounds) of the kernel at experiment scale — n = 10k, average
+// degree 12, every node proposing every phase.
+func benchWarmedTrialPhase(b *testing.B, parallel bool) {
+	g := graph.GNPWithAverageDegree(10_000, 12, 42)
+	r := NewRunner(g, parallel, 0)
+	if err := r.Start(Config{PaletteSize: g.MaxDegree()*g.MaxDegree() + 1,
+		Scope: ScopeDistance2, Seed: 1, Picker: conflictPicker}); err != nil {
+		b.Fatal(err)
+	}
+	r.Phase() // warm-up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Phase()
+	}
+}
+
+// BenchmarkTrialPhase reports the warmed-up phase cost; the headline
+// assertion — 0 allocs/op on the sequential engine — is enforced by
+// TestTrialPhaseAllocFree via AllocsPerOp over the same body.
+func BenchmarkTrialPhase(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "engine=sequential"
+		if parallel {
+			name = "engine=sharded"
+		}
+		b.Run(name, func(b *testing.B) { benchWarmedTrialPhase(b, parallel) })
+	}
+}
+
+// TestTrialPhaseAllocFree runs BenchmarkTrialPhase's sequential case through
+// the benchmark harness and asserts the acceptance criterion directly:
+// a warmed-up phase at n = 10k reports 0 allocs/op.
+func TestTrialPhaseAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=10k benchmark probe skipped in -short mode")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchWarmedTrialPhase(b, false) })
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Errorf("warmed-up trial phase at n=10k: %d allocs/op, want 0", allocs)
+	}
+}

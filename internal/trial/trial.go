@@ -21,10 +21,22 @@
 // FinishColoring subroutine, the (1+ε)Δ²-palette baseline, and the
 // Johansson-style (Δ+1)-coloring baseline on G (with distance-1 conflict
 // checking).
+//
+// Because the primitive underlies every simulated experiment, it is built as
+// a reusable, allocation-free kernel (see Runner): all per-node state lives
+// in flat arrays keyed by node or by CSR edge slot, message payloads are
+// plain uint64 words (see codec.go), and a Runner can be re-run with a new
+// Config without rebuilding its n processes or its network. A warmed-up
+// phase executes with zero heap allocations.
 package trial
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"math/bits"
+	"slices"
+	"sync/atomic"
 
 	"d2color/internal/coloring"
 	"d2color/internal/congest"
@@ -65,9 +77,19 @@ type Config struct {
 	PaletteSize int
 	// Scope selects distance-1 or distance-2 conflict checking.
 	Scope Scope
-	// MaxPhases bounds the number of phases; 0 means run until complete (with
-	// the simulator's round limit as a backstop).
+	// MaxPhases bounds the number of phases. A run stopped by an explicit
+	// MaxPhases simply reports Complete == false (callers that cap phases
+	// expect partial colorings). 0 means run until complete, with PhaseCap as
+	// the backstop.
 	MaxPhases int
+	// PhaseCap is the hard backstop for MaxPhases == 0 runs. The primitive
+	// completes in O(log n) phases w.h.p. on every palette this repository
+	// uses, so the default cap — 64·⌈log₂ n⌉ + 128 phases — is dozens of
+	// times the expectation; hitting it means the configuration cannot
+	// complete (e.g. an adversarially small palette), and Run surfaces that
+	// as ErrPhaseBudget with Result.BudgetExhausted set rather than silently
+	// returning an incomplete coloring.
+	PhaseCap int
 	// ActiveProbability is the probability that a live node participates in a
 	// phase; 0 means 1 (always active).
 	ActiveProbability float64
@@ -84,7 +106,8 @@ type Config struct {
 	// Seed seeds the per-node randomness.
 	Seed uint64
 	// Parallel runs the underlying simulator on the sharded-parallel engine
-	// (byte-deterministic with the sequential one).
+	// (byte-deterministic with the sequential one). Used by the Run
+	// convenience wrapper; a Runner fixes its engine at construction.
 	Parallel bool
 	// Workers bounds the sharded engine's goroutine pool; 0 means GOMAXPROCS.
 	Workers int
@@ -99,33 +122,165 @@ type Result struct {
 	Phases   int
 	Metrics  congest.Metrics
 	Complete bool
+	// BudgetExhausted is set when a run-to-completion (MaxPhases == 0) run
+	// hit its PhaseCap backstop; Run additionally returns ErrPhaseBudget.
+	BudgetExhausted bool
 }
 
-// message payloads.
-type (
-	proposeMsg struct{ Color int }
-	adoptMsg   struct{ Color int }
-	answerMsg  struct {
-		Color    int
-		Conflict bool
+// ErrPhaseBudget is returned (wrapped) when a run-to-completion trial run
+// exhausts its phase backstop; the partial Result is still returned.
+var ErrPhaseBudget = errors.New("trial: phase budget exhausted before the coloring completed")
+
+// defaultPhaseCap returns the backstop for run-to-completion runs:
+// 64·⌈log₂ n⌉ + 128, matching the O(log n) w.h.p. completion bound with a
+// wide safety margin.
+func defaultPhaseCap(n int) int {
+	if n < 2 {
+		return 128
 	}
+	return 64*bits.Len(uint(n-1)) + 128
+}
+
+// Message kinds and payload codecs of the trial protocol. A payload is one
+// O(log n)-bit word: colors come from a palette of at most Δ²+1 ≤ n² colors,
+// so a color is at most two ⌈log₂ n⌉-bit words' worth of bits and the
+// constant-factor word declarations below match the seed implementation
+// (every trial message is charged one word, the paper's O(log n)-bit unit).
+const (
+	kindPropose congest.Kind = iota + 1 // Word = EncodeColor(candidate)
+	kindAdopt                           // Word = EncodeColor(adopted color)
+	kindAnswer                          // Word = EncodeAnswer(candidate, conflict)
 )
 
-// process is the per-node state machine.
-type process struct {
-	cfg       *Config
-	color     int
-	nbrColors map[graph.NodeID]int
-	proposal  int  // candidate this phase, -1 if none
-	announced bool // adoption already broadcast
-	phases    int
+// EncodeColor packs a non-negative color into a payload word.
+func EncodeColor(c int) uint64 { return uint64(c) }
+
+// DecodeColor inverts EncodeColor.
+func DecodeColor(w uint64) int { return int(w) }
+
+// EncodeAnswer packs an answer — the echoed candidate color plus the
+// conflict bit — into one payload word.
+func EncodeAnswer(color int, conflict bool) uint64 {
+	w := uint64(color) << 1
+	if conflict {
+		w |= 1
+	}
+	return w
 }
 
-// Run executes trial phases on g until the coloring is complete or the phase
-// budget is exhausted.
-func Run(g *graph.Graph, cfg Config) (Result, error) {
+// DecodeAnswer inverts EncodeAnswer.
+func DecodeAnswer(w uint64) (color int, conflict bool) {
+	return int(w >> 1), w&1 == 1
+}
+
+// uncolored is the flat-array sentinel, identical to coloring.Uncolored.
+const uncolored int32 = int32(coloring.Uncolored)
+
+// Runner is the reusable allocation-free kernel executing trial phases on a
+// fixed topology. All mutable per-node state lives in flat arrays — indexed
+// by node, or by CSR edge slot for neighbor-color knowledge (the slot range
+// of node v doubles as v's scratch region in the answer round) — and the
+// underlying network, its processes and every buffer are built once in
+// NewRunner. Start rewinds the whole kernel for a new Config in O(n + m)
+// without allocating, so repeated sub-protocol invocations on the same graph
+// (the harness's averaged repetitions, the baselines, randd2's step 2) stop
+// rebuilding n processes and a fresh network each time.
+//
+// A Runner is not safe for concurrent use; run one Runner per goroutine.
+type Runner struct {
+	g   *graph.Graph
+	ix  *graph.EdgeIndex
+	net congest.Engine
+
+	procs []nodeProc
+
+	cfg     Config
+	picker  Picker
+	palette int32
+
+	// Per-node state.
+	color     []int32 // current color, uncolored if none
+	proposal  []int32 // candidate this phase, -1 if none
+	announced []bool  // adoption already broadcast
+
+	// Per-edge-slot state; the region of node v is ix.Offsets[v] ..
+	// ix.Offsets[v+1]. nbrColor mirrors the seed path's per-node
+	// map[NodeID]int of neighbor colors as a slice indexed by neighbor
+	// position; knownSorted keeps the same colors sorted (first numKnown[v]
+	// entries of the region) so the answer round's "is this color used by a
+	// neighbor" check is a binary search instead of a map walk.
+	nbrColor    []int32
+	knownSorted []int32
+	numKnown    []int32
+	propScratch []int32 // answer-round scratch: the phase's proposal colors, sorted
+
+	// live is the number of uncolored nodes — the completion frontier that
+	// replaces the seed path's O(n) per-phase scan over all processes. It is
+	// only decremented (colors are permanent), from node steps; the counter
+	// is atomic because the sharded engine steps nodes concurrently, and the
+	// final value is deterministic (decrements commute).
+	live   atomic.Int64
+	phases int
+}
+
+// nodeProc adapts one node of the Runner to the congest.Process interface.
+// The n values live in one flat slice, allocated once per Runner.
+type nodeProc struct {
+	r *Runner
+	v graph.NodeID
+}
+
+// Step implements congest.Process. The process never "halts" in the
+// simulator's sense because colored nodes still answer queries; termination
+// is driven by the phase loop.
+func (p *nodeProc) Step(ctx *congest.Context, round int, inbox []congest.Message) bool {
+	switch round % 3 {
+	case 0:
+		p.r.stepPropose(p.v, ctx, inbox)
+	case 1:
+		p.r.stepAnswer(p.v, ctx, inbox)
+	case 2:
+		p.r.stepAdopt(p.v, ctx, inbox)
+	}
+	return false
+}
+
+// NewRunner builds a trial kernel for g. The engine implementation
+// (sequential or sharded-parallel) is fixed at construction; per-run knobs —
+// palette, scope, seed, picker, phase budgets — arrive with each Start/Run.
+func NewRunner(g *graph.Graph, parallel bool, workers int) *Runner {
+	n := g.NumNodes()
+	ix := g.EdgeIndex()
+	slots := ix.NumSlots()
+	r := &Runner{
+		g:           g,
+		ix:          ix,
+		net:         congest.New(g, congest.Config{Parallel: parallel, Workers: workers}),
+		procs:       make([]nodeProc, n),
+		color:       make([]int32, n),
+		proposal:    make([]int32, n),
+		announced:   make([]bool, n),
+		nbrColor:    make([]int32, slots),
+		knownSorted: make([]int32, slots),
+		numKnown:    make([]int32, n),
+		propScratch: make([]int32, slots),
+	}
+	for v := 0; v < n; v++ {
+		r.procs[v] = nodeProc{r: r, v: graph.NodeID(v)}
+		r.net.SetProcess(graph.NodeID(v), &r.procs[v])
+	}
+	return r
+}
+
+// Start validates cfg and rewinds the kernel for a new run: network reset to
+// cfg.Seed, every flat array cleared, the live counter recomputed from
+// cfg.Initial. It allocates nothing.
+func (r *Runner) Start(cfg Config) error {
 	if cfg.PaletteSize <= 0 {
-		return Result{}, fmt.Errorf("trial: palette size must be positive, got %d", cfg.PaletteSize)
+		return fmt.Errorf("trial: palette size must be positive, got %d", cfg.PaletteSize)
+	}
+	if cfg.PaletteSize > math.MaxInt32 {
+		return fmt.Errorf("trial: palette size %d exceeds the int32 color range", cfg.PaletteSize)
 	}
 	if cfg.Scope == 0 {
 		cfg.Scope = ScopeDistance2
@@ -133,100 +288,134 @@ func Run(g *graph.Graph, cfg Config) (Result, error) {
 	if cfg.ActiveProbability <= 0 || cfg.ActiveProbability > 1 {
 		cfg.ActiveProbability = 1
 	}
+	r.cfg = cfg
+	r.picker = cfg.Picker
+	r.palette = int32(cfg.PaletteSize)
+	r.phases = 0
+	r.net.Reset(cfg.Seed)
 
-	n := g.NumNodes()
-	net := congest.New(g, congest.Config{Seed: cfg.Seed, Parallel: cfg.Parallel, Workers: cfg.Workers})
-	procs := make([]*process, n)
+	n := r.g.NumNodes()
+	live := int64(n)
 	for v := 0; v < n; v++ {
-		p := &process{cfg: &cfg, color: coloring.Uncolored, proposal: -1,
-			nbrColors: make(map[graph.NodeID]int, g.Degree(graph.NodeID(v)))}
+		c := uncolored
 		if cfg.Initial != nil && cfg.Initial[v] != coloring.Uncolored {
-			p.color = cfg.Initial[v]
-			p.announced = false // will announce in the first propose round
+			c = int32(cfg.Initial[v])
+			live--
 		}
-		procs[v] = p
-		net.SetProcess(graph.NodeID(v), p)
+		r.color[v] = c
+		r.proposal[v] = -1
+		r.announced[v] = false // pre-colored nodes announce in the first propose round
+		r.numKnown[v] = 0
 	}
+	for e := range r.nbrColor {
+		r.nbrColor[e] = uncolored
+	}
+	r.live.Store(live)
+	return nil
+}
 
-	maxPhases := cfg.MaxPhases
-	if maxPhases <= 0 {
-		maxPhases = 4*n + 64 // generous completion backstop
-	}
-	phases := 0
-	for ; phases < maxPhases; phases++ {
-		done := true
-		for _, p := range procs {
-			if p.color == coloring.Uncolored {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
-		}
-		net.RunRounds(3)
-	}
+// Phase executes one trial phase (three simulated rounds) and reports
+// whether the coloring is complete afterwards. A warmed-up Phase performs no
+// heap allocations.
+func (r *Runner) Phase() bool {
+	r.net.RunRounds(3)
+	r.phases++
+	return r.live.Load() == 0
+}
 
+// Graph returns the topology the kernel was built for.
+func (r *Runner) Graph() *graph.Graph { return r.g }
+
+// Complete reports whether every node is colored.
+func (r *Runner) Complete() bool { return r.live.Load() == 0 }
+
+// Phases returns the number of phases executed since Start.
+func (r *Runner) Phases() int { return r.phases }
+
+// Finish assembles the Result of the run so far (the coloring slice is the
+// only allocation).
+func (r *Runner) Finish() Result {
+	n := r.g.NumNodes()
 	out := coloring.New(n)
 	complete := true
-	for v, p := range procs {
-		out[v] = p.color
-		if p.color == coloring.Uncolored {
+	for v := 0; v < n; v++ {
+		out[v] = int(r.color[v])
+		if r.color[v] == uncolored {
 			complete = false
 		}
 	}
-	return Result{Coloring: out, Phases: phases, Metrics: net.Metrics(), Complete: complete}, nil
+	return Result{Coloring: out, Phases: r.phases, Metrics: r.net.Metrics(), Complete: complete}
 }
 
-// Step implements congest.Process. The process never "halts" in the
-// simulator's sense because colored nodes still answer queries; termination
-// is driven by the phase loop in Run.
-func (p *process) Step(ctx *congest.Context, round int, inbox []congest.Message) bool {
-	switch round % 3 {
-	case 0:
-		p.stepPropose(ctx, inbox)
-	case 1:
-		p.stepAnswer(ctx, inbox)
-	case 2:
-		p.stepAdopt(ctx, inbox)
+// Run executes trial phases until the coloring is complete or the phase
+// budget is exhausted. It may be called repeatedly with different configs;
+// each call behaves exactly like a fresh run on a fresh network.
+func (r *Runner) Run(cfg Config) (Result, error) {
+	if err := r.Start(cfg); err != nil {
+		return Result{}, err
 	}
-	return false
+	maxPhases := cfg.MaxPhases
+	capped := maxPhases > 0
+	if !capped {
+		maxPhases = cfg.PhaseCap
+		if maxPhases <= 0 {
+			maxPhases = defaultPhaseCap(r.g.NumNodes())
+		}
+	}
+	for r.phases < maxPhases && !r.Complete() {
+		r.Phase()
+	}
+	res := r.Finish()
+	if !res.Complete && !capped {
+		res.BudgetExhausted = true
+		return res, fmt.Errorf("%w (%d phases, %d nodes uncolored)",
+			ErrPhaseBudget, res.Phases, r.live.Load())
+	}
+	return res, nil
+}
+
+// Run executes trial phases on g until the coloring is complete or the phase
+// budget is exhausted, on a freshly built kernel. Callers running the
+// primitive repeatedly on one graph should build a Runner once and reuse it.
+func Run(g *graph.Graph, cfg Config) (Result, error) {
+	return NewRunner(g, cfg.Parallel, cfg.Workers).Run(cfg)
 }
 
 // stepPropose records adoption notifications from the previous phase and
 // broadcasts this node's candidate (if live and active) or its fresh adoption.
-func (p *process) stepPropose(ctx *congest.Context, inbox []congest.Message) {
-	p.recordAdoptions(inbox)
-	p.proposal = -1
-	if p.color != coloring.Uncolored {
-		if !p.announced {
-			ctx.Broadcast(adoptMsg{Color: p.color})
-			p.announced = true
+func (r *Runner) stepPropose(v graph.NodeID, ctx *congest.Context, inbox []congest.Message) {
+	r.recordAdoptions(v, inbox)
+	r.proposal[v] = -1
+	if r.color[v] != uncolored {
+		if !r.announced[v] {
+			ctx.Broadcast(kindAdopt, EncodeColor(int(r.color[v])))
+			r.announced[v] = true
 		}
 		return
 	}
-	if p.cfg.ActiveProbability < 1 && !ctx.Rand().Bernoulli(p.cfg.ActiveProbability) {
+	if r.cfg.ActiveProbability < 1 && !ctx.Rand().Bernoulli(r.cfg.ActiveProbability) {
 		return
 	}
 	var cand int
-	if p.cfg.AvoidKnownUsed && p.cfg.Picker == nil {
-		cand = p.pickAvoidingKnown(ctx)
+	if r.cfg.AvoidKnownUsed && r.picker == nil {
+		cand = r.pickAvoidingKnown(v, ctx)
 	} else {
-		picker := p.cfg.Picker
+		picker := r.picker
 		if picker == nil {
 			picker = UniformPicker
 		}
-		cand = picker(ctx.NodeID(), ctx.Rand(), p.cfg.PaletteSize)
+		cand = picker(v, ctx.Rand(), r.cfg.PaletteSize)
 	}
-	if cand < 0 || cand >= p.cfg.PaletteSize {
+	if cand < 0 || cand >= r.cfg.PaletteSize {
 		return
 	}
-	p.proposal = cand
-	ctx.Broadcast(proposeMsg{Color: cand})
+	r.proposal[v] = int32(cand)
+	ctx.Broadcast(kindPropose, EncodeColor(cand))
 	// A node with no neighbors has nobody to object; it can adopt directly.
 	if ctx.Degree() == 0 {
-		p.color = cand
-		p.announced = true
+		r.color[v] = int32(cand)
+		r.announced[v] = true
+		r.live.Add(-1)
 	}
 }
 
@@ -234,93 +423,150 @@ func (p *process) stepPropose(ctx *congest.Context, inbox []congest.Message) {
 // candidate conflicts if it equals this node's color or proposal, any of this
 // node's other neighbors' colors, or another proposal received this phase.
 // For distance-1 scope only this node's own color and proposal count.
-func (p *process) stepAnswer(ctx *congest.Context, inbox []congest.Message) {
-	p.recordAdoptions(inbox)
-	proposals := make(map[graph.NodeID]int, len(inbox))
-	colorProposedBy := make(map[int]int) // candidate color -> number of proposers among neighbors
-	for _, m := range inbox {
-		if pr, ok := m.Payload.(proposeMsg); ok {
-			proposals[m.From] = pr.Color
-			colorProposedBy[pr.Color]++
+//
+// The inbox arrives sorted by sender (the message plane guarantees it), so
+// the node's slot region is walked with a single merge pointer and each
+// answer is addressed to the sender's out-slot directly — the whole step is
+// O(deg) plus one in-place sort of the phase's proposal colors.
+func (r *Runner) stepAnswer(v graph.NodeID, ctx *congest.Context, inbox []congest.Message) {
+	r.recordAdoptions(v, inbox)
+	base := r.ix.Offsets[v]
+	d2 := r.cfg.Scope == ScopeDistance2
+
+	// Gather this phase's proposal colors into the scratch region; sorting
+	// them makes "did two neighbors propose this color" a binary search. A
+	// proposer is by definition uncolored, so it can never appear among the
+	// known neighbor colors — no sender exclusion is needed there.
+	props := r.propScratch[base:base:r.ix.Offsets[v+1]] // capped: appends stay in v's region
+	if d2 {
+		for i := range inbox {
+			if inbox[i].Kind == kindPropose {
+				props = append(props, int32(DecodeColor(inbox[i].Word)))
+			}
 		}
+		slices.Sort(props)
 	}
-	for from, cand := range proposals {
-		conflict := false
-		if p.color == cand || (p.proposal == cand && p.color == coloring.Uncolored) {
-			conflict = true
+	known := r.knownSorted[base : base+r.numKnown[v]]
+
+	nbr := 0 // merge pointer into v's neighbor list (inbox is sender-sorted)
+	targets := r.ix.Targets[base:r.ix.Offsets[v+1]]
+	for i := range inbox {
+		m := &inbox[i]
+		if m.Kind != kindPropose {
+			continue
 		}
-		if p.cfg.Scope == ScopeDistance2 && !conflict {
+		for targets[nbr] != m.From {
+			nbr++
+		}
+		cand := int32(DecodeColor(m.Word))
+		conflict := r.color[v] == cand || (r.proposal[v] == cand && r.color[v] == uncolored)
+		if d2 && !conflict {
 			// Another neighbor of this node proposed the same color: the two
 			// proposers are at distance <= 2 through us.
-			if colorProposedBy[cand] > 1 {
+			if lo, dup := slices.BinarySearch(props, cand); dup && lo+1 < len(props) && props[lo+1] == cand {
+				conflict = true
+			} else if _, used := slices.BinarySearch(known, cand); used {
 				conflict = true
 			}
-			if !conflict {
-				for nbr, col := range p.nbrColors {
-					if nbr != from && col == cand {
-						conflict = true
-						break
-					}
-				}
-			}
 		}
-		_ = ctx.Send(from, answerMsg{Color: cand, Conflict: conflict})
+		ctx.SendToNeighbor(nbr, kindAnswer, EncodeAnswer(int(cand), conflict))
 	}
 }
 
 // stepAdopt adopts the proposal if every neighbor answered "no conflict".
-func (p *process) stepAdopt(ctx *congest.Context, inbox []congest.Message) {
-	if p.proposal < 0 || p.color != coloring.Uncolored {
+func (r *Runner) stepAdopt(v graph.NodeID, ctx *congest.Context, inbox []congest.Message) {
+	if r.proposal[v] < 0 || r.color[v] != uncolored {
 		return
 	}
 	answers := 0
-	for _, m := range inbox {
-		if a, ok := m.Payload.(answerMsg); ok && a.Color == p.proposal {
+	for i := range inbox {
+		if inbox[i].Kind != kindAnswer {
+			continue
+		}
+		color, conflict := DecodeAnswer(inbox[i].Word)
+		if int32(color) == r.proposal[v] {
 			answers++
-			if a.Conflict {
-				p.proposal = -1
+			if conflict {
+				r.proposal[v] = -1
 				return
 			}
 		}
 	}
 	if answers == ctx.Degree() {
-		p.color = p.proposal
-		p.announced = false // broadcast in the next propose round
+		r.color[v] = r.proposal[v]
+		r.announced[v] = false // broadcast in the next propose round
+		r.live.Add(-1)
 	}
-	p.proposal = -1
+	r.proposal[v] = -1
 }
 
 // pickAvoidingKnown draws a uniform candidate among the palette colors not
 // known to be used by a neighbor; if every color is known used (impossible
-// for a (Δ+1)-sized palette), it falls back to the whole palette.
-func (p *process) pickAvoidingKnown(ctx *congest.Context) int {
-	used := make(map[int]struct{}, len(p.nbrColors))
-	for _, c := range p.nbrColors {
-		if c >= 0 && c < p.cfg.PaletteSize {
-			used[c] = struct{}{}
+// for a (Δ+1)-sized palette), it falls back to the whole palette. The known
+// colors are read from the node's sorted slot region, so the draw needs no
+// per-call set.
+func (r *Runner) pickAvoidingKnown(v graph.NodeID, ctx *congest.Context) int {
+	base := r.ix.Offsets[v]
+	known := r.knownSorted[base : base+r.numKnown[v]]
+	// Count the distinct known colors inside the palette (the region is
+	// sorted; duplicates and out-of-palette colors are skipped).
+	used := 0
+	prev := int32(-1)
+	for _, c := range known {
+		if c != prev && c < r.palette {
+			used++
+			prev = c
 		}
 	}
-	free := p.cfg.PaletteSize - len(used)
+	free := r.cfg.PaletteSize - used
 	if free <= 0 {
-		return ctx.Rand().Intn(p.cfg.PaletteSize)
+		return ctx.Rand().Intn(r.cfg.PaletteSize)
 	}
 	idx := ctx.Rand().Intn(free)
-	for c := 0; c < p.cfg.PaletteSize; c++ {
-		if _, ok := used[c]; ok {
+	// Select the idx-th free color by merging [0, palette) against the
+	// sorted known region.
+	j := 0
+	for c := int32(0); c < r.palette; c++ {
+		for j < len(known) && known[j] < c {
+			j++
+		}
+		if j < len(known) && known[j] == c {
 			continue
 		}
 		if idx == 0 {
-			return c
+			return int(c)
 		}
 		idx--
 	}
-	return ctx.Rand().Intn(p.cfg.PaletteSize)
+	return ctx.Rand().Intn(r.cfg.PaletteSize)
 }
 
-func (p *process) recordAdoptions(inbox []congest.Message) {
-	for _, m := range inbox {
-		if a, ok := m.Payload.(adoptMsg); ok {
-			p.nbrColors[m.From] = a.Color
+// recordAdoptions folds adoption notifications into the node's slot region:
+// nbrColor gets the sender's color at its neighbor position, and the color
+// is inserted into the sorted known-colors prefix. The inbox is sorted by
+// sender, so one merge pointer finds every sender's slot in O(deg) total.
+func (r *Runner) recordAdoptions(v graph.NodeID, inbox []congest.Message) {
+	base := r.ix.Offsets[v]
+	targets := r.ix.Targets[base:r.ix.Offsets[v+1]]
+	nbr := 0
+	for i := range inbox {
+		m := &inbox[i]
+		if m.Kind != kindAdopt {
+			continue
 		}
+		for targets[nbr] != m.From {
+			nbr++
+		}
+		if r.nbrColor[base+int32(nbr)] != uncolored {
+			continue // colors are permanent; an adoption is announced once
+		}
+		c := int32(DecodeColor(m.Word))
+		r.nbrColor[base+int32(nbr)] = c
+		// Insert into the sorted known prefix of the region.
+		known := r.knownSorted[base : base+r.numKnown[v]+1]
+		lo, _ := slices.BinarySearch(known[:len(known)-1], c)
+		copy(known[lo+1:], known[lo:])
+		known[lo] = c
+		r.numKnown[v]++
 	}
 }
