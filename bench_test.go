@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment E1–E9 (see EXPERIMENTS.md), plus
+// Benchmarks, one per experiment E1–E10 (see EXPERIMENTS.md), plus
 // micro-benchmarks for the hot substrate operations. The experiment
 // benchmarks run the corresponding harness driver on a reduced sweep and
 // report the headline quantity (total CONGEST rounds or colors) via

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"d2color/internal/core"
 	"d2color/internal/graph"
@@ -25,6 +26,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "d2color:", err)
 		os.Exit(1)
 	}
+}
+
+// algoNames lists core's own algorithm set for the -algo flag help. Solve
+// additionally accepts any name registered in the alg registry by a linked
+// package; its unknown-algorithm error lists what is actually registered.
+func algoNames() string {
+	names := make([]string, 0, 8)
+	for _, a := range core.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, ", ")
 }
 
 type output struct {
@@ -51,7 +63,7 @@ func run(args []string, w io.Writer) error {
 		degree   = fs.Int("degree", 8, "degree-like parameter (regular degree, tree branching, tasks per resource)")
 		p        = fs.Float64("p", 0.05, "probability / radius / average degree parameter")
 		seed     = fs.Uint64("seed", 1, "random seed")
-		algo     = fs.String("algo", string(core.AlgorithmAuto), "algorithm: auto, rand-improved, rand-basic, deterministic, polylog, greedy, naive, relaxed")
+		algo     = fs.String("algo", string(core.AlgorithmAuto), "algorithm: "+algoNames())
 		eps      = fs.Float64("eps", 1, "epsilon for the polylog and relaxed algorithms")
 		parallel = fs.Bool("parallel", false, "run simulations on the sharded-parallel CONGEST engine (same results, different wall clock)")
 		workers  = fs.Int("workers", 0, "goroutine pool size for -parallel (0 = GOMAXPROCS)")

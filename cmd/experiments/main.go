@@ -1,32 +1,38 @@
-// Command experiments regenerates the experiment tables E1–E9 described in
-// EXPERIMENTS.md, reproducing the quantitative claims of the paper.
+// Command experiments regenerates the experiment tables E1–E10 described in
+// EXPERIMENTS.md, reproducing the quantitative claims of the paper. The
+// sweeps are executed by the declarative grid engine (internal/sweep): every
+// workload × algorithm × engine cell fans out over -jobs workers, and the
+// generated tables are byte-identical for every -jobs value up to the
+// self-profiling wall-clock note each one ends with.
 //
 // Example:
 //
 //	experiments                 # run everything at full size
 //	experiments -quick          # small sweeps (seconds)
-//	experiments -only E3,E6     # a subset
+//	experiments -only E3,E6     # a subset (unknown IDs are an error)
+//	experiments -jobs 1         # disable the grid fan-out
+//	experiments -json           # JSON-lines records instead of text tables
 //	experiments -csv out/       # also write one CSV per experiment
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"d2color/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		quick    = fs.Bool("quick", false, "run reduced sweeps")
@@ -34,49 +40,35 @@ func run(args []string) error {
 		reps     = fs.Int("reps", 0, "repetitions for randomized measurements (0 = default)")
 		only     = fs.String("only", "", "comma-separated experiment IDs (default: all)")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
-		parallel = fs.Bool("parallel", false, "run simulations on the sharded-parallel CONGEST engine (identical tables, different wall clock)")
+		asJSON   = fs.Bool("json", false, "emit JSON-lines records instead of text tables")
+		jobs     = fs.Int("jobs", 0, "worker pool that fans out the sweep grids' cells (0 = GOMAXPROCS, 1 = sequential); tables are identical for every value apart from their wall-clock note")
+		parallel = fs.Bool("parallel", false, "run simulations on the sharded-parallel CONGEST engine when the grid is sequential (-jobs 1); identical tables, different wall clock")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := harness.Config{Quick: *quick, Seed: *seed, Repetitions: *reps, Parallel: *parallel}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Repetitions: *reps, Parallel: *parallel, Jobs: *jobs}
 
-	wanted := map[string]bool{}
+	var ids []string
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			wanted[strings.TrimSpace(id)] = true
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
 		}
 	}
+
+	sinks := []harness.Sink{harness.TextSink{W: stdout}}
+	if *asJSON {
+		sinks = []harness.Sink{harness.JSONLSink{W: stdout}}
+	}
 	if *csvDir != "" {
+		// Fail on an uncreatable directory before any sweep runs, not after
+		// the first experiment finishes.
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
 		}
+		sinks = append(sinks, harness.CSVDirSink{Dir: *csvDir})
 	}
-
-	for _, e := range harness.All() {
-		if len(wanted) > 0 && !wanted[e.ID] {
-			continue
-		}
-		table, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		if err := table.Render(os.Stdout); err != nil {
-			return err
-		}
-		if *csvDir != "" {
-			f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
-			if err != nil {
-				return err
-			}
-			if err := table.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return harness.Run(cfg, ids, harness.MultiSink(sinks...))
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentIDIsAnError(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-quick", "-only", "E42"}, &out)
+	if err == nil {
+		t.Fatal("-only E42 should fail instead of silently running nothing")
+	}
+	if !strings.Contains(err.Error(), "E42") {
+		t.Errorf("error should name the unknown ID: %v", err)
+	}
+	if !strings.Contains(err.Error(), "E1") || !strings.Contains(err.Error(), "E10") {
+		t.Errorf("error should list the valid IDs: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("nothing should be emitted on an ID error, got %q", out.String())
+	}
+}
+
+func TestUnknownIDMixedWithValidIsStillAnError(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-quick", "-only", "E3, E42"}, &out)
+	if err == nil {
+		t.Fatal("a mix of valid and unknown IDs should fail before running anything")
+	}
+	if !strings.Contains(err.Error(), "E42") {
+		t.Errorf("error should name the unknown ID: %v", err)
+	}
+}
+
+func TestOnlyFiltering(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-reps", "1", "-only", "E3,E6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E3 — ") || !strings.Contains(s, "E6 — ") {
+		t.Errorf("output should contain E3 and E6 tables:\n%s", s)
+	}
+	if strings.Contains(s, "E1 — ") || strings.Contains(s, "E4 — ") {
+		t.Errorf("output should not contain unselected experiments:\n%s", s)
+	}
+}
+
+func TestBadFlagIsAnError(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flags should be an error")
+	}
+}
+
+func TestJSONLinesOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-reps", "1", "-only", "E3", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("expected table/row/done records, got %d lines", len(lines))
+	}
+	types := map[string]int{}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if rec["experiment"] != "E3" {
+			t.Errorf("record for wrong experiment: %v", rec)
+		}
+		types[rec["type"].(string)]++
+	}
+	if types["table"] != 1 || types["done"] != 1 || types["row"] == 0 {
+		t.Errorf("unexpected record mix: %v", types)
+	}
+}
+
+func TestCSVDirSinkWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-reps", "1", "-only", "E3", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "E3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "rounds") {
+		t.Errorf("CSV missing header: %q", string(data))
+	}
+}
+
+func TestJobsValuesProduceIdenticalOutput(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-quick", "-reps", "1", "-only", "E5", "-jobs", "1"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-reps", "1", "-only", "E5", "-jobs", "7"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "wall-clock") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(seq.String()) != strip(par.String()) {
+		t.Errorf("-jobs 1 and -jobs 7 disagree:\n--- jobs=1 ---\n%s\n--- jobs=7 ---\n%s", seq.String(), par.String())
+	}
+}
+
+func TestUncreatableCSVDirFailsBeforeRunning(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-quick", "-only", "E3", "-csv", "/proc/definitely/not/writable"}, &out)
+	if err == nil {
+		t.Fatal("an uncreatable -csv directory should be an error")
+	}
+	if out.Len() != 0 {
+		t.Errorf("no sweep should run before the directory check, got %q", out.String())
+	}
+}

@@ -136,12 +136,7 @@ func JohanssonD1(g *graph.Graph, opts Options) (Result, error) {
 // observation). It is fast but uses more colors than the paper's main
 // algorithms.
 func RelaxedD2(g *graph.Graph, opts Options) (Result, error) {
-	epsilon := opts.Epsilon
-	if epsilon < 0 {
-		epsilon = 0
-	}
-	delta := g.MaxDegree()
-	palette := int(float64(delta*delta)*(1+epsilon)) + 1
+	palette := relaxedPalette(g.MaxDegree(), opts.Epsilon)
 	res, err := trial.Run(g, trial.Config{
 		PaletteSize: palette,
 		Scope:       trial.ScopeDistance2,
@@ -156,6 +151,15 @@ func RelaxedD2(g *graph.Graph, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("relaxed-d2: did not complete within %d phases", res.Phases)
 	}
 	return Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: res.Metrics, Algorithm: "relaxed-d2"}, nil
+}
+
+// relaxedPalette is the (1+ε)Δ²+1 palette of RelaxedD2 (negative ε means 0),
+// shared with the alg adapter's advertised bound.
+func relaxedPalette(delta int, epsilon float64) int {
+	if epsilon < 0 {
+		epsilon = 0
+	}
+	return int(float64(delta*delta)*(1+epsilon)) + 1
 }
 
 // NaiveD2 implements the strawman from the introduction: run the simple

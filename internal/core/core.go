@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"d2color/internal/alg"
 	"d2color/internal/baseline"
 	"d2color/internal/coloring"
 	"d2color/internal/congest"
@@ -133,67 +134,64 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		algo = AlgorithmRandomizedImproved
 	}
 
-	var res Result
-	res.Algorithm = algo
+	// Build the algorithm instance: parameterized adapters for the known
+	// names (with verification deferred to the single check below), the
+	// registry for anything registered beyond core's own set.
+	var instance alg.Algorithm
+	runSeed := opts.Seed
 	switch algo {
 	case AlgorithmRandomizedImproved, AlgorithmRandomizedBasic:
 		variant := randd2.VariantImproved
 		if algo == AlgorithmRandomizedBasic {
 			variant = randd2.VariantBasic
 		}
-		r, err := randd2.Run(g, randd2.Options{
-			Variant:    variant,
-			Params:     opts.RandParams,
-			Seed:       opts.Seed,
-			Parallel:   opts.Parallel,
-			Workers:    opts.Workers,
-			SkipVerify: true, // verified below
-		})
-		if err != nil {
-			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
-		}
-		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+		instance = randd2.Algorithm(randd2.Options{Variant: variant, Params: opts.RandParams, SkipVerify: true})
 	case AlgorithmDeterministic:
-		r, err := detd2.Run(g, detd2.Options{Seed: opts.Seed, Parallel: opts.Parallel, Workers: opts.Workers, SkipVerify: true})
-		if err != nil {
-			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
-		}
-		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+		instance = detd2.Algorithm(detd2.Options{SkipVerify: true})
 	case AlgorithmPolylog:
-		popts := polylogd2.Options{Epsilon: eps, Seed: opts.Seed, SkipVerify: true}
+		popts := polylogd2.Options{Epsilon: eps, SkipVerify: true}
 		if opts.PolylogOptions != nil {
 			popts = *opts.PolylogOptions
 			if popts.Epsilon <= 0 {
 				popts.Epsilon = eps
 			}
 			popts.SkipVerify = true
+			// An explicit PolylogOptions owns the whole option surface,
+			// including the seed of the randomized splitting variant; the
+			// adapter would otherwise overwrite it with opts.Seed.
+			runSeed = popts.Seed
 		}
-		r, err := polylogd2.ColorG2(g, popts)
-		if err != nil {
-			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
-		}
-		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteBound, r.Metrics, &r
+		instance = polylogd2.Algorithm(popts)
 	case AlgorithmGreedy:
-		r := baseline.GreedyD2(g)
-		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+		instance = baseline.GreedyAlgorithm()
 	case AlgorithmNaive:
-		r, err := baseline.NaiveD2(g, baseline.Options{Seed: opts.Seed, Parallel: opts.Parallel, Workers: opts.Workers})
-		if err != nil {
-			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
-		}
-		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+		instance = baseline.NaiveAlgorithm(baseline.Options{})
 	case AlgorithmRelaxed:
-		r, err := baseline.RelaxedD2(g, baseline.Options{Seed: opts.Seed, Epsilon: eps, Parallel: opts.Parallel, Workers: opts.Workers})
-		if err != nil {
-			return Result{}, fmt.Errorf("core: %s: %w", algo, err)
-		}
-		res.Coloring, res.PaletteSize, res.Metrics, res.Details = r.Coloring, r.PaletteSize, r.Metrics, &r
+		instance = baseline.RelaxedAlgorithm(baseline.Options{Epsilon: eps})
 	default:
-		return Result{}, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, algo)
+		registered, ok := alg.Get(string(algo))
+		if !ok {
+			return Result{}, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownAlgorithm, algo, alg.Names())
+		}
+		instance = registered
+	}
+
+	r, err := instance.Run(g, alg.Engine{Parallel: opts.Parallel, Workers: opts.Workers}, runSeed)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s: %w", algo, err)
+	}
+	res := Result{
+		Algorithm:   algo,
+		Coloring:    r.Coloring,
+		PaletteSize: r.PaletteSize,
+		Metrics:     r.Metrics,
+		Details:     r.Details,
 	}
 
 	res.ColorsUsed = res.Coloring.NumColorsUsed()
-	if !opts.SkipVerify && g.NumNodes() > 0 {
+	// Coloring-shaped registry entries (MIS membership) are not distance-2
+	// colorings; applying CheckD2 to them would reject correct results.
+	if !opts.SkipVerify && g.NumNodes() > 0 && alg.IsD2Coloring(instance) {
 		if rep := verify.CheckD2(g, res.Coloring, res.PaletteSize); !rep.Valid {
 			return Result{}, fmt.Errorf("core: %s produced an invalid coloring: %w", algo, rep.Error())
 		}

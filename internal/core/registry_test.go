@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"d2color/internal/graph"
+	"d2color/internal/mis"
+	"d2color/internal/polylogd2"
+)
+
+// TestSolveRegistryFallbackRunsMIS exercises the registry fallback with a
+// coloring-shaped (non-d2) entry: linking internal/mis registers "mis", and
+// Solve must run it without applying the distance-2 conflict check to its
+// membership encoding.
+func TestSolveRegistryFallbackRunsMIS(t *testing.T) {
+	g := graph.GNPWithAverageDegree(120, 6, 2)
+	res, err := Solve(g, Options{Algorithm: "mis", Seed: 3})
+	if err != nil {
+		t.Fatalf("Solve(mis) via the registry fallback: %v", err)
+	}
+	if res.PaletteSize != 2 {
+		t.Errorf("palette = %d, want 2", res.PaletteSize)
+	}
+	details, ok := res.Details.(*mis.Result)
+	if !ok {
+		t.Fatalf("Details = %T, want *mis.Result", res.Details)
+	}
+	// Cross-check the 2-coloring against the InSet encoding.
+	for v := 0; v < g.NumNodes(); v++ {
+		want := 0
+		if details.InSet[v] {
+			want = 1
+		}
+		if res.Coloring[v] != want {
+			t.Fatalf("node %d: color %d does not encode InSet=%v", v, res.Coloring[v], details.InSet[v])
+		}
+	}
+	// Independence of the set (the property that actually matters).
+	for v := 0; v < g.NumNodes(); v++ {
+		if !details.InSet[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if details.InSet[u] {
+				t.Fatalf("nodes %d and %d are adjacent and both in the set", v, u)
+			}
+		}
+	}
+}
+
+// TestSolvePreservesPolylogOptionsSeed pins the pre-registry behavior: an
+// explicit PolylogOptions owns the randomized splitting seed, even when it
+// differs from Options.Seed.
+func TestSolvePreservesPolylogOptionsSeed(t *testing.T) {
+	g := graph.GNPWithAverageDegree(150, 8, 4)
+	popts := polylogd2.Options{Epsilon: 1, UseRandomizedSplit: true, DegreeThreshold: 6, ThresholdCoeff: 1, Seed: 7}
+	res, err := Solve(g, Options{Algorithm: AlgorithmPolylog, Seed: 999, PolylogOptions: &popts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := polylogd2.ColorG2(g, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Coloring {
+		if res.Coloring[v] != direct.Coloring[v] {
+			t.Fatalf("node %d: Solve used a different seed than PolylogOptions.Seed", v)
+		}
+	}
+}

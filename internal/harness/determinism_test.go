@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// render returns the table bytes with the wall clock zeroed (the only
+// scheduling-dependent field).
+func renderStable(t *testing.T, table *Table) []byte {
+	t.Helper()
+	table.Elapsed = 0
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepMatchesPreRefactorGoldens pins the sweep-engine-generated E1/E3
+// tables to goldens captured from the hand-written pre-refactor loops (Quick,
+// Seed 1, Repetitions 2), for a sequential and a saturated grid alike.
+func TestSweepMatchesPreRefactorGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick sweeps")
+	}
+	for _, tc := range []struct {
+		golden string
+		run    func(Config) (*Table, error)
+	}{
+		{"E1_quick_seed1_reps2.golden", runE1},
+		{"E3_quick_seed1_reps2.golden", runE3},
+	} {
+		want, err := os.ReadFile("testdata/" + tc.golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, jobs := range []int{1, 8} {
+			cfg := Config{Quick: true, Seed: 1, Repetitions: 2, Jobs: jobs}
+			table, err := tc.run(cfg)
+			if err != nil {
+				t.Fatalf("%s jobs=%d: %v", tc.golden, jobs, err)
+			}
+			if got := renderStable(t, table); !bytes.Equal(got, want) {
+				t.Errorf("%s jobs=%d: table diverged from the pre-refactor loops\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, jobs, got, want)
+			}
+		}
+	}
+}
+
+// TestAllExperimentsJobsInvariant asserts that every experiment's table is
+// byte-identical for a sequential and a saturated grid (the order-preserving
+// fold argument of DESIGN.md §8).
+func TestAllExperimentsJobsInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick sweeps twice")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			seq, err := e.Run(Config{Quick: true, Seed: 1, Repetitions: 2, Jobs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := e.Run(Config{Quick: true, Seed: 1, Repetitions: 2, Jobs: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := renderStable(t, par), renderStable(t, seq); !bytes.Equal(got, want) {
+				t.Errorf("jobs=8 table differs from jobs=1:\n--- jobs=8 ---\n%s\n--- jobs=1 ---\n%s", got, want)
+			}
+		})
+	}
+}

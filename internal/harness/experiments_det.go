@@ -1,11 +1,25 @@
 package harness
 
 import (
+	"d2color/internal/alg"
+	"d2color/internal/coloring"
+	"d2color/internal/congest"
 	"d2color/internal/detd2"
 	"d2color/internal/graph"
 	"d2color/internal/polylogd2"
 	"d2color/internal/splitting"
+	"d2color/internal/sweep"
 )
+
+// regularPoint is a pairing-model random-regular workload point; the label is
+// the post-clamping effective degree parameter, which E3/E6 print as their
+// own "d" column.
+func regularPoint(n, d int, seed int64) sweep.Point {
+	return sweep.Point{Build: func() (*graph.Graph, string, error) {
+		g, effD := graph.RandomRegularEffective(n, d, seed)
+		return g, itoa(effD), nil
+	}}
+}
 
 // runE3 measures Theorem 1.2: rounds of the deterministic algorithm as Δ
 // grows at fixed n.
@@ -23,21 +37,30 @@ func runE3(cfg Config) (*Table, error) {
 		n = 200
 		ds = []int{4, 8}
 	}
+	var points []sweep.Point
 	for _, d := range ds {
-		g, effD := graph.RandomRegularEffective(n, d, int64(cfg.Seed)+int64(d))
-		delta := g.MaxDegree()
-		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
-		if err != nil {
-			return nil, err
-		}
-		rounds := float64(res.Metrics.TotalRounds())
-		t.AddRow(itoa(n), itoa(effD), itoa(delta), itoa(res.PaletteSize), itoa(res.Coloring.NumColorsUsed()),
-			ftoa(rounds), ftoa(rounds/float64(delta*delta)),
-			itoa(res.Stages.LinialRounds), itoa(res.Stages.IterativeRounds), itoa(res.Stages.ReductionRounds))
+		points = append(points, regularPoint(n, d, int64(cfg.Seed)+int64(d)))
 	}
-	t.AddNote("the d column is the post-clamping effective pairing-model degree, so rows are self-describing")
-	t.AddNote("expected shape: rounds grow with Δ and rounds/Δ² never exceeds a small constant (the theorem is an upper bound; random regular inputs finish the locally-iterative phases early, so growth is sub-quadratic in practice)")
-	return t, nil
+	spec := sweep.Spec{
+		Name:       "E3",
+		Points:     points,
+		Algorithms: []sweep.AlgAxis{{Alg: alg.MustGet("deterministic")}},
+		Engines:    cfg.engineAxis(),
+		Seed:       cfg.Seed,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			c := grid.Cell(pi, 0, 0)
+			res := c.Sample.Details.(*detd2.Result)
+			delta := c.G.MaxDegree()
+			rounds := c.Mean(sweep.MeasureRounds)
+			t.AddRow(itoa(n), c.Label, itoa(delta), itoa(res.PaletteSize), itoa(res.Coloring.NumColorsUsed()),
+				ftoa(rounds), ftoa(rounds/float64(delta*delta)),
+				itoa(res.Stages.LinialRounds), itoa(res.Stages.IterativeRounds), itoa(res.Stages.ReductionRounds))
+		}
+		t.AddNote("the d column is the post-clamping effective pairing-model degree, so rows are self-describing")
+		t.AddNote("expected shape: rounds grow with Δ and rounds/Δ² never exceeds a small constant (the theorem is an upper bound; random regular inputs finish the locally-iterative phases early, so growth is sub-quadratic in practice)")
+	})
 }
 
 // runE4 measures Theorem 1.3: the (1+ε)Δ² deterministic coloring.
@@ -55,29 +78,86 @@ func runE4(cfg Config) (*Table, error) {
 		ns = []int{96, 160}
 		epss = []float64{1}
 	}
+	var points []sweep.Point
 	for _, n := range ns {
-		for _, eps := range epss {
-			g := graph.GNPWithAverageDegree(n, 8, int64(cfg.Seed)+int64(n))
-			delta := g.MaxDegree()
-			res, err := polylogd2.ColorG2(g, polylogd2.Options{
-				Epsilon:         eps,
-				DegreeThreshold: 6,
-				ThresholdCoeff:  1,
-				Seed:            cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			logN := log2f(n)
-			rounds := float64(res.Metrics.TotalRounds())
-			t.AddRow(itoa(n), itoa(delta), ftoa(eps), itoa(res.PaletteBound), itoa(res.ColorsUsed),
-				itoa(res.NumParts), itoa(res.Levels), ftoa(rounds), ftoa(rounds/(logN*logN*logN)),
-				btoa(res.UsedDirectFallback))
-		}
+		points = append(points, gnpAvgPoint(n, 8, int64(cfg.Seed)+int64(n),
+			func(float64) string { return "" }))
 	}
-	t.AddNote("the splitting stop threshold is set to 6 so the recursion is exercised at simulation scale (the paper's threshold Θ(ε⁻²·log³ n) exceeds every reachable degree, see DESIGN.md §2)")
-	t.AddNote("expected shape: colors stay within the (1+ε)Δ² budget and the normalized round column does not blow up with n")
-	return t, nil
+	// The ε grid is the algorithm axis: one parameterized polylog instance
+	// per ε value.
+	var algs []sweep.AlgAxis
+	for _, eps := range epss {
+		algs = append(algs, sweep.AlgAxis{Alg: polylogd2.Algorithm(polylogd2.Options{
+			Epsilon:         eps,
+			DegreeThreshold: 6,
+			ThresholdCoeff:  1,
+		})})
+	}
+	spec := sweep.Spec{
+		Name:       "E4",
+		Points:     points,
+		Algorithms: algs,
+		Engines:    cfg.engineAxis(),
+		Seed:       cfg.Seed,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			for ei := range epss {
+				c := grid.Cell(pi, ei, 0)
+				res := c.Sample.Details.(*polylogd2.Result)
+				n := c.G.NumNodes()
+				logN := log2f(n)
+				rounds := c.Mean(sweep.MeasureRounds)
+				t.AddRow(itoa(n), itoa(c.G.MaxDegree()), ftoa(epss[ei]), itoa(res.PaletteBound), itoa(res.ColorsUsed),
+					itoa(res.NumParts), itoa(res.Levels), ftoa(rounds), ftoa(rounds/(logN*logN*logN)),
+					btoa(res.UsedDirectFallback))
+			}
+		}
+		t.AddNote("the splitting stop threshold is set to 6 so the recursion is exercised at simulation scale (the paper's threshold Θ(ε⁻²·log³ n) exceeds every reachable degree, see DESIGN.md §2)")
+		t.AddNote("expected shape: colors stay within the (1+ε)Δ² budget and the normalized round column does not blow up with n")
+	})
+}
+
+// splitMethod names one local-refinement splitting implementation.
+type splitMethod struct {
+	name  string
+	class alg.Determinism
+	run   func(g *graph.Graph, parts []int, opts splitting.Options) (splitting.Result, error)
+}
+
+var splitMethods = []splitMethod{
+	{"randomized", alg.Randomized, splitting.RandomizedSplit},
+	{"k-wise", alg.Randomized, splitting.LimitedIndependenceSplit},
+	{"deterministic", alg.Deterministic, splitting.DeterministicSplit},
+}
+
+// splitAlgorithm wraps one splitting method at one λ as an inline algorithm
+// instance: the red/blue split is its 2-coloring and the splitting.Result
+// rides along as Details.
+func splitAlgorithm(m splitMethod, lambda float64) alg.Algorithm {
+	return alg.Func{
+		AlgName: "split-" + m.name,
+		Class:   m.class,
+		NotD2:   true, // a red/blue split, not a distance-2 coloring
+		Palette: func(*graph.Graph) int { return 2 },
+		RunFunc: func(g *graph.Graph, _ alg.Engine, seed uint64) (alg.Result, error) {
+			parts := splitting.UniformPartition(g.NumNodes())
+			res, err := m.run(g, parts, splitting.Options{Lambda: lambda, ThresholdCoeff: 1, Seed: seed})
+			if err != nil {
+				return alg.Result{}, err
+			}
+			c := coloring.New(g.NumNodes())
+			for v, red := range res.Red {
+				if red {
+					c[v] = 1
+				} else {
+					c[v] = 0
+				}
+			}
+			return alg.Result{Coloring: c, PaletteSize: 2,
+				Metrics: congest.Metrics{ChargedRounds: res.Rounds}, Details: &res}, nil
+		},
+	}
 }
 
 // runE5 measures the local refinement splitting (Definition 3.1) quality for
@@ -89,45 +169,45 @@ func runE5(cfg Config) (*Table, error) {
 		Claim:   "Theorem 3.2 / Lemma A.5: all constrained vertices keep ≤ (1+λ)·deg/2 neighbours of each color",
 		Columns: []string{"workload", "λ", "method", "constrained", "violations", "max imbalance", "rounds"},
 	}
-	workloads := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"K(150,150)", graph.CompleteBipartite(150, 150)},
-		{"K200", graph.Complete(200)},
-		{"gnp dense", graph.GNP(250, 0.4, int64(cfg.Seed))},
+	points := []sweep.Point{
+		{Label: "K(150,150)", Build: func() (*graph.Graph, string, error) { return graph.CompleteBipartite(150, 150), "", nil }},
+		{Label: "K200", Build: func() (*graph.Graph, string, error) { return graph.Complete(200), "", nil }},
+		{Label: "gnp dense", Build: func() (*graph.Graph, string, error) { return graph.GNP(250, 0.4, int64(cfg.Seed)), "", nil }},
 	}
 	lambdas := []float64{0.3, 0.5, 1.0}
 	if cfg.Quick {
-		workloads = workloads[:1]
+		points = points[:1]
 		lambdas = []float64{0.5}
 	}
-	for _, w := range workloads {
-		parts := splitting.UniformPartition(w.g.NumNodes())
-		for _, lambda := range lambdas {
-			opts := splitting.Options{Lambda: lambda, ThresholdCoeff: 1, Seed: cfg.Seed}
-			type method struct {
-				name string
-				run  func() (splitting.Result, error)
-			}
-			methods := []method{
-				{"randomized", func() (splitting.Result, error) { return splitting.RandomizedSplit(w.g, parts, opts) }},
-				{"k-wise", func() (splitting.Result, error) { return splitting.LimitedIndependenceSplit(w.g, parts, opts) }},
-				{"deterministic", func() (splitting.Result, error) { return splitting.DeterministicSplit(w.g, parts, opts) }},
-			}
-			for _, m := range methods {
-				res, err := m.run()
-				if err != nil {
-					return nil, err
-				}
-				t.AddRow(w.name, ftoa(lambda), m.name, itoa(res.Constrained), itoa(res.Violations),
-					ftoa(res.MaxImbalance), itoa(res.Rounds))
-			}
+	// The λ × method grid is the algorithm axis, λ-major so the generated
+	// rows keep the historical order.
+	var algs []sweep.AlgAxis
+	for _, lambda := range lambdas {
+		for _, m := range splitMethods {
+			algs = append(algs, sweep.AlgAxis{Alg: splitAlgorithm(m, lambda), Reps: 1})
 		}
 	}
-	t.AddNote("expected shape: zero violations for the deterministic method on every row; the randomized methods can occasionally violate because the degree threshold is scaled far below the paper's 12·log n/λ² (that scaled threshold is exactly why the paper needs the larger constant)")
-	t.AddNote("the deterministic rounds include the network-decomposition substitute's charge (DESIGN.md §2)")
-	return t, nil
+	spec := sweep.Spec{
+		Name:       "E5",
+		Points:     points,
+		Algorithms: algs,
+		Engines:    cfg.engineAxis(),
+		Seed:       cfg.Seed,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			for li, lambda := range lambdas {
+				for mi, m := range splitMethods {
+					c := grid.Cell(pi, li*len(splitMethods)+mi, 0)
+					res := c.Sample.Details.(*splitting.Result)
+					t.AddRow(c.Label, ftoa(lambda), m.name, itoa(res.Constrained), itoa(res.Violations),
+						ftoa(res.MaxImbalance), itoa(res.Rounds))
+				}
+			}
+		}
+		t.AddNote("expected shape: zero violations for the deterministic method on every row; the randomized methods can occasionally violate because the degree threshold is scaled far below the paper's 12·log n/λ² (that scaled threshold is exactly why the paper needs the larger constant)")
+		t.AddNote("the deterministic rounds include the network-decomposition substitute's charge (DESIGN.md §2)")
+	})
 }
 
 // runE6 measures the Linial stage of Theorem B.1 in isolation.
@@ -145,18 +225,27 @@ func runE6(cfg Config) (*Table, error) {
 		n = 150
 		ds = []int{4, 8}
 	}
+	var points []sweep.Point
 	for _, d := range ds {
-		g, effD := graph.RandomRegularEffective(n, d, int64(cfg.Seed)+int64(d))
-		delta := g.MaxDegree()
-		res, err := detd2.Run(g, detd2.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
-		if err != nil {
-			return nil, err
-		}
-		d4 := delta * delta * delta * delta
-		t.AddRow(itoa(n), itoa(effD), itoa(delta), itoa(d4), itoa(res.Stages.LinialColors),
-			ftoa(float64(res.Stages.LinialColors)/float64(maxI(d4, 1))),
-			itoa(res.Stages.LinialRounds), itoa(res.Stages.LinialRounds-2*delta))
+		points = append(points, regularPoint(n, d, int64(cfg.Seed)+int64(d)))
 	}
-	t.AddNote("expected shape: Linial colors stay within a constant multiple of Δ⁴ and the log* remainder stays tiny (n = %d)", n)
-	return t, nil
+	spec := sweep.Spec{
+		Name:       "E6",
+		Points:     points,
+		Algorithms: []sweep.AlgAxis{{Alg: alg.MustGet("deterministic")}},
+		Engines:    cfg.engineAxis(),
+		Seed:       cfg.Seed,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			c := grid.Cell(pi, 0, 0)
+			res := c.Sample.Details.(*detd2.Result)
+			delta := c.G.MaxDegree()
+			d4 := delta * delta * delta * delta
+			t.AddRow(itoa(n), c.Label, itoa(delta), itoa(d4), itoa(res.Stages.LinialColors),
+				ftoa(float64(res.Stages.LinialColors)/float64(maxI(d4, 1))),
+				itoa(res.Stages.LinialRounds), itoa(res.Stages.LinialRounds-2*delta))
+		}
+		t.AddNote("expected shape: Linial colors stay within a constant multiple of Δ⁴ and the log* remainder stays tiny (n = %d)", n)
+	})
 }

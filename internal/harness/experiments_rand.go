@@ -3,13 +3,15 @@ package harness
 import (
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
 
-	"d2color/internal/baseline"
+	"d2color/internal/alg"
+	// The blank import guarantees the baseline package's init registration
+	// (E8 pulls "naive" out of the registry by name).
+	_ "d2color/internal/baseline"
 	"d2color/internal/graph"
 	"d2color/internal/randd2"
 	"d2color/internal/sparsity"
+	"d2color/internal/sweep"
 	"d2color/internal/trial"
 )
 
@@ -21,71 +23,23 @@ func log2f(x int) float64 {
 	return math.Log2(float64(x))
 }
 
-// runRandAveraged runs the randomized algorithm `reps` times with different
-// seeds and returns the average total rounds, average active rounds and the
-// worst-case colors used.
-//
-// Runs with distinct seeds are independent, so the repetitions fan out over
-// a bounded worker pool (cfg.repWorkers()); each worker owns one reusable
-// trial kernel, so a worker's repetitions share the kernel's network and
-// flat per-node state instead of rebuilding them per run. Results are folded
-// in repetition order, so the averages and the sampled first repetition are
-// byte-identical to a serial execution.
-func runRandAveraged(g *graph.Graph, variant randd2.Variant, cfg Config, reps int) (avgTotal, avgActive float64, maxColors int, sample *randd2.Result, err error) {
-	results := make([]randd2.Result, reps)
-	errs := make([]error, reps)
-	workers := cfg.repWorkers()
-	if workers > reps {
-		workers = reps
+// observeActive records the randomized algorithm's active-round count (the
+// total at the moment the coloring first became complete) as the "active"
+// measure of the cell.
+func observeActive(_ int, res *alg.Result, rec *sweep.Recorder) {
+	if r, ok := res.Details.(*randd2.Result); ok {
+		rec.Add("active", float64(r.ActiveRounds))
 	}
-	if workers > 1 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				// The rep pool already saturates the cores, so each worker
-				// runs the byte-deterministic sequential engine: nesting a
-				// sharded engine per worker would only add scheduling
-				// overhead without changing a single table cell.
-				tk := trial.NewRunner(g, false, 0)
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= reps {
-						return
-					}
-					results[i], errs[i] = randd2.Run(g, randd2.Options{Variant: variant,
-						Seed: cfg.Seed + uint64(i)*101, TrialKernel: tk})
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
-		tk := trial.NewRunner(g, cfg.Parallel, 0)
-		for i := 0; i < reps; i++ {
-			results[i], errs[i] = randd2.Run(g, randd2.Options{Variant: variant,
-				Seed: cfg.Seed + uint64(i)*101, Parallel: cfg.Parallel, TrialKernel: tk})
-		}
-	}
-	for i := 0; i < reps; i++ {
-		if errs[i] != nil {
-			return 0, 0, 0, nil, errs[i]
-		}
-		res := results[i]
-		avgTotal += float64(res.Metrics.TotalRounds())
-		avgActive += float64(res.ActiveRounds)
-		if c := res.Coloring.NumColorsUsed(); c > maxColors {
-			maxColors = c
-		}
-		if i == 0 {
-			r := res
-			sample = &r
-		}
-	}
-	avgTotal /= float64(reps)
-	avgActive /= float64(reps)
-	return avgTotal, avgActive, maxColors, sample, nil
+}
+
+// gnpAvgPoint is a G(n,p) workload point with a fixed expected average
+// degree; the label embeds the post-clamping effective parameters, so every
+// generated row is self-describing.
+func gnpAvgPoint(n int, avgDeg float64, seed int64, label func(effDeg float64) string) sweep.Point {
+	return sweep.Point{Build: func() (*graph.Graph, string, error) {
+		g, effDeg := graph.GNPWithAverageDegreeEffective(n, avgDeg, seed)
+		return g, label(effDeg), nil
+	}}
 }
 
 // runE1 measures Theorem 1.1: rounds of the improved randomized algorithm as
@@ -100,42 +54,44 @@ func runE1(cfg Config) (*Table, error) {
 	}
 	ns := []int{256, 512, 1024, 2048, 4096}
 	degs := []float64{6, 12, 24, 48}
+	nFixed := 1024
 	if cfg.Quick {
 		ns = []int{128, 256, 512}
 		degs = []float64{6, 12}
-	}
-	reps := cfg.reps()
-
-	for _, n := range ns {
-		g, effDeg := graph.GNPWithAverageDegreeEffective(n, 12, int64(cfg.Seed)+int64(n))
-		delta := g.MaxDegree()
-		total, active, colors, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		norm := total / (log2f(delta) * log2f(n))
-		t.AddRow(fmt.Sprintf("n-sweep (avg deg %s)", ftoa(effDeg)), itoa(n), itoa(delta), itoa(delta*delta+1), itoa(colors),
-			ftoa(total), ftoa(active), ftoa(norm))
-	}
-	nFixed := 1024
-	if cfg.Quick {
 		nFixed = 384
 	}
-	for _, d := range degs {
-		g, effDeg := graph.GNPWithAverageDegreeEffective(nFixed, d, int64(cfg.Seed)+int64(d*17))
-		delta := g.MaxDegree()
-		total, active, colors, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		norm := total / (log2f(delta) * log2f(nFixed))
-		t.AddRow(fmt.Sprintf("Δ-sweep (n=%d, avg deg %s)", nFixed, ftoa(effDeg)), itoa(nFixed), itoa(delta), itoa(delta*delta+1), itoa(colors),
-			ftoa(total), ftoa(active), ftoa(norm))
+	var points []sweep.Point
+	for _, n := range ns {
+		points = append(points, gnpAvgPoint(n, 12, int64(cfg.Seed)+int64(n),
+			func(eff float64) string { return fmt.Sprintf("n-sweep (avg deg %s)", ftoa(eff)) }))
 	}
-	t.AddNote("workload labels carry the post-clamping effective generator parameters, so every row is self-describing")
-	t.AddNote("expected shape: the normalized column stays within a small constant band as n and Δ grow")
-	t.AddNote("colors used never exceed Δ²+1 (verified on every run)")
-	return t, nil
+	for _, d := range degs {
+		points = append(points, gnpAvgPoint(nFixed, d, int64(cfg.Seed)+int64(d*17),
+			func(eff float64) string { return fmt.Sprintf("Δ-sweep (n=%d, avg deg %s)", nFixed, ftoa(eff)) }))
+	}
+	spec := sweep.Spec{
+		Name:       "E1",
+		Points:     points,
+		Algorithms: []sweep.AlgAxis{{Alg: alg.MustGet("rand-improved")}},
+		Engines:    cfg.engineAxis(),
+		Reps:       cfg.reps(),
+		Seed:       cfg.Seed,
+		Observe:    observeActive,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			c := grid.Cell(pi, 0, 0)
+			n, delta := c.G.NumNodes(), c.G.MaxDegree()
+			total := c.Mean(sweep.MeasureRounds)
+			norm := total / (log2f(delta) * log2f(n))
+			t.AddRow(c.Label, itoa(n), itoa(delta), itoa(delta*delta+1),
+				itoa(int(c.Max(sweep.MeasureColors))),
+				ftoa(total), ftoa(c.Mean("active")), ftoa(norm))
+		}
+		t.AddNote("workload labels carry the post-clamping effective generator parameters, so every row is self-describing")
+		t.AddNote("expected shape: the normalized column stays within a small constant band as n and Δ grow")
+		t.AddNote("colors used never exceed Δ²+1 (verified on every run)")
+	})
 }
 
 // runE2 compares the basic final phase (Corollary 2.1) with the improved one
@@ -152,26 +108,37 @@ func runE2(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		ns = []int{128, 256}
 	}
-	reps := cfg.reps()
+	var points []sweep.Point
 	for _, n := range ns {
-		g := graph.GNPWithAverageDegree(n, 12, int64(cfg.Seed)+int64(n))
-		delta := g.MaxDegree()
-		basicTotal, _, _, _, err := runRandAveraged(g, randd2.VariantBasic, cfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		improvedTotal, _, _, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		logN := log2f(n)
-		t.AddRow(itoa(n), itoa(delta), ftoa(basicTotal), ftoa(improvedTotal),
-			ftoa(basicTotal/math.Max(improvedTotal, 1)),
-			ftoa(basicTotal/(logN*logN*logN)),
-			ftoa(improvedTotal/(log2f(delta)*logN)))
+		points = append(points, gnpAvgPoint(n, 12, int64(cfg.Seed)+int64(n),
+			func(float64) string { return "" }))
 	}
-	t.AddNote("expected shape: the basic/improved ratio grows with n; both normalized columns stay bounded")
-	return t, nil
+	spec := sweep.Spec{
+		Name:   "E2",
+		Points: points,
+		Algorithms: []sweep.AlgAxis{
+			{Alg: alg.MustGet("rand-basic")},
+			{Alg: alg.MustGet("rand-improved")},
+		},
+		Engines: cfg.engineAxis(),
+		Reps:    cfg.reps(),
+		Seed:    cfg.Seed,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			basic := grid.Cell(pi, 0, 0)
+			improved := grid.Cell(pi, 1, 0)
+			n, delta := basic.G.NumNodes(), basic.G.MaxDegree()
+			basicTotal := basic.Mean(sweep.MeasureRounds)
+			improvedTotal := improved.Mean(sweep.MeasureRounds)
+			logN := log2f(n)
+			t.AddRow(itoa(n), itoa(delta), ftoa(basicTotal), ftoa(improvedTotal),
+				ftoa(basicTotal/math.Max(improvedTotal, 1)),
+				ftoa(basicTotal/(logN*logN*logN)),
+				ftoa(improvedTotal/(log2f(delta)*logN)))
+		}
+		t.AddNote("expected shape: the basic/improved ratio grows with n; both normalized columns stay bounded")
+	})
 }
 
 // runE7 measures the final-phase machinery of Section 2.6 on dense workloads.
@@ -197,21 +164,33 @@ func runE7(cfg Config) (*Table, error) {
 	params := randd2.Default()
 	params.C0 = 0.2
 	params.C1 = 0.05
+	var points []sweep.Point
 	for _, n := range ns {
-		avgDeg := 0.9 * math.Sqrt(float64(n))
-		g, effDeg := graph.GNPWithAverageDegreeEffective(n, avgDeg, int64(cfg.Seed)+int64(n))
-		res, err := randd2.Run(g, randd2.Options{Variant: randd2.VariantImproved, Seed: cfg.Seed, Params: &params, Parallel: cfg.Parallel})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("gnp(avg deg %.1f)", effDeg), itoa(n), itoa(g.MaxDegree()),
-			itoa(res.PaletteStats.LiveNodes), itoa(res.PaletteStats.MaxLivePerNbr),
-			itoa(res.PaletteStats.MaxMissing), itoa(res.FinishStats.Phases),
-			ftoa(float64(res.FinishStats.Phases)/log2f(n)))
+		points = append(points, gnpAvgPoint(n, 0.9*math.Sqrt(float64(n)), int64(cfg.Seed)+int64(n),
+			func(eff float64) string { return fmt.Sprintf("gnp(avg deg %.1f)", eff) }))
 	}
-	t.AddNote("the initial-phase budget is reduced (C0=0.2, C1=0.05) so that live nodes actually reach the final phase at simulation scale")
-	t.AddNote("expected shape: FinishColoring phases grow at most logarithmically in n; |Tv| stays far below the palette size (the O(log n) bound of Lemma 2.15 assumes the ζ = O(log n) regime)")
-	return t, nil
+	spec := sweep.Spec{
+		Name:   "E7",
+		Points: points,
+		Algorithms: []sweep.AlgAxis{
+			{Alg: randd2.Algorithm(randd2.Options{Variant: randd2.VariantImproved, Params: &params}), Reps: 1},
+		},
+		Engines: cfg.engineAxis(),
+		Seed:    cfg.Seed,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			c := grid.Cell(pi, 0, 0)
+			res := c.Sample.Details.(*randd2.Result)
+			n := c.G.NumNodes()
+			t.AddRow(c.Label, itoa(n), itoa(c.G.MaxDegree()),
+				itoa(res.PaletteStats.LiveNodes), itoa(res.PaletteStats.MaxLivePerNbr),
+				itoa(res.PaletteStats.MaxMissing), itoa(res.FinishStats.Phases),
+				ftoa(float64(res.FinishStats.Phases)/log2f(n)))
+		}
+		t.AddNote("the initial-phase budget is reduced (C0=0.2, C1=0.05) so that live nodes actually reach the final phase at simulation scale")
+		t.AddNote("expected shape: FinishColoring phases grow at most logarithmically in n; |Tv| stays far below the palette size (the O(log n) bound of Lemma 2.15 assumes the ζ = O(log n) regime)")
+	})
 }
 
 // runE8 compares the naive G²-simulation strawman against the improved
@@ -230,25 +209,55 @@ func runE8(cfg Config) (*Table, error) {
 		n = 256
 		degs = []float64{4, 8}
 	}
+	var points []sweep.Point
 	for _, d := range degs {
-		g, effDeg := graph.GNPWithAverageDegreeEffective(n, d, int64(cfg.Seed)+int64(d*31))
-		delta := g.MaxDegree()
-		naive, err := baseline.NaiveD2(g, baseline.Options{Seed: cfg.Seed, Parallel: cfg.Parallel})
-		if err != nil {
-			return nil, err
-		}
-		improvedTotal, _, _, _, err := runRandAveraged(g, randd2.VariantImproved, cfg, cfg.reps())
-		if err != nil {
-			return nil, err
-		}
-		naiveRounds := float64(naive.Metrics.TotalRounds())
-		t.AddRow(itoa(n), ftoa(effDeg), itoa(delta), ftoa(naiveRounds), ftoa(improvedTotal),
-			ftoa(naiveRounds/math.Max(improvedTotal, 1)),
-			ftoa(naiveRounds/float64(maxI(delta, 1))),
-			ftoa(improvedTotal/log2f(delta)))
+		points = append(points, gnpAvgPoint(n, d, int64(cfg.Seed)+int64(d*31), ftoa))
 	}
-	t.AddNote("expected shape: naive/Δ stays roughly flat (linear-in-Δ cost) while improved/log Δ grows only slowly; the naive/improved ratio therefore grows with Δ and the crossover (naive losing outright) happens once Δ exceeds the polylog factors — extrapolate the two flat columns to locate it")
-	return t, nil
+	spec := sweep.Spec{
+		Name:   "E8",
+		Points: points,
+		Algorithms: []sweep.AlgAxis{
+			{Alg: alg.MustGet("naive"), Reps: 1},
+			{Alg: alg.MustGet("rand-improved")},
+		},
+		Engines: cfg.engineAxis(),
+		Reps:    cfg.reps(),
+		Seed:    cfg.Seed,
+	}
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			naive := grid.Cell(pi, 0, 0)
+			improved := grid.Cell(pi, 1, 0)
+			delta := naive.G.MaxDegree()
+			naiveRounds := naive.Mean(sweep.MeasureRounds)
+			improvedTotal := improved.Mean(sweep.MeasureRounds)
+			t.AddRow(itoa(n), naive.Label, itoa(delta), ftoa(naiveRounds), ftoa(improvedTotal),
+				ftoa(naiveRounds/math.Max(improvedTotal, 1)),
+				ftoa(naiveRounds/float64(maxI(delta, 1))),
+				ftoa(improvedTotal/log2f(delta)))
+		}
+		t.AddNote("expected shape: naive/Δ stays roughly flat (linear-in-Δ cost) while improved/log Δ grows only slowly; the naive/improved ratio therefore grows with Δ and the crossover (naive losing outright) happens once Δ exceeds the polylog factors — extrapolate the two flat columns to locate it")
+	})
+}
+
+// initialTrialsAlgorithm is the "step 2 only" slice of the randomized
+// algorithm: 3·log₂ n phases of whole-palette random trials on G², the
+// machinery Proposition 2.5 analyses. It is an inline algorithm instance
+// rather than a registered one because only E9 measures it in isolation.
+var initialTrialsAlgorithm = alg.Func{
+	AlgName: "initial-trials",
+	Class:   alg.Randomized,
+	Palette: alg.D2Palette,
+	RunFunc: func(g *graph.Graph, eng alg.Engine, seed uint64) (alg.Result, error) {
+		palette := alg.D2Palette(g)
+		phases := int(math.Ceil(3 * log2f(g.NumNodes())))
+		res, err := trial.Run(g, trial.Config{PaletteSize: palette, Scope: trial.ScopeDistance2,
+			MaxPhases: phases, Seed: seed, Parallel: eng.Parallel, Workers: eng.Workers})
+		if err != nil {
+			return alg.Result{}, err
+		}
+		return alg.Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: res.Metrics}, nil
+	},
 }
 
 // runE9 validates the slack-generation claim: after the initial random
@@ -261,66 +270,74 @@ func runE9(cfg Config) (*Table, error) {
 		Columns: []string{"workload", "n", "Δ", "avg ζ", "avg slack", "min slack/ζ (ζ≥1)",
 			"frac slack ≥ ζ/4e³", "live after step 2"},
 	}
-	workloads := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"gnp avg8", graph.GNPWithAverageDegree(600, 8, int64(cfg.Seed))},
-		{"gnp avg16", graph.GNPWithAverageDegree(600, 16, int64(cfg.Seed)+1)},
-		{"cliquechain 10×10", graph.CliqueChain(10, 10, 0)},
-		{"unitdisk", graph.UnitDisk(400, 0.12, int64(cfg.Seed)+2)},
+	points := []sweep.Point{
+		{Label: "gnp avg8", Build: func() (*graph.Graph, string, error) {
+			return graph.GNPWithAverageDegree(600, 8, int64(cfg.Seed)), "", nil
+		}},
+		{Label: "gnp avg16", Build: func() (*graph.Graph, string, error) {
+			return graph.GNPWithAverageDegree(600, 16, int64(cfg.Seed)+1), "", nil
+		}},
+		{Label: "cliquechain 10×10", Build: func() (*graph.Graph, string, error) {
+			return graph.CliqueChain(10, 10, 0), "", nil
+		}},
+		{Label: "unitdisk", Build: func() (*graph.Graph, string, error) {
+			return graph.UnitDisk(400, 0.12, int64(cfg.Seed)+2), "", nil
+		}},
 	}
 	if cfg.Quick {
-		workloads = workloads[:2]
+		points = points[:2]
+	}
+	spec := sweep.Spec{
+		Name:       "E9",
+		Points:     points,
+		Algorithms: []sweep.AlgAxis{{Alg: initialTrialsAlgorithm, Reps: 1}},
+		Engines:    cfg.engineAxis(),
+		Seed:       cfg.Seed,
 	}
 	const fourECubed = 4 * math.E * math.E * math.E
-	for _, w := range workloads {
-		g := w.g
-		delta := g.MaxDegree()
-		palette := delta*delta + 1
-		phases := int(math.Ceil(3 * log2f(g.NumNodes())))
-		res, err := trial.Run(g, trial.Config{PaletteSize: palette, Scope: trial.ScopeDistance2,
-			MaxPhases: phases, Seed: cfg.Seed, Parallel: cfg.Parallel})
-		if err != nil {
-			return nil, err
-		}
-		d2 := graph.NewDist2View(g)
-		zetas := sparsity.AllSparsities(d2, delta)
-		var sumZ, sumSlack, minRatio float64
-		minRatio = math.Inf(1)
-		okCount, constrained := 0, 0
-		live := 0
-		for v := 0; v < g.NumNodes(); v++ {
-			z := zetas[v]
-			s := float64(sparsity.Slack(d2, res.Coloring, palette, graph.NodeID(v)))
-			sumZ += z
-			sumSlack += s
-			if !res.Coloring.IsColored(graph.NodeID(v)) {
-				live++
-			}
-			if z >= 1 {
-				constrained++
-				if ratio := s / z; ratio < minRatio {
-					minRatio = ratio
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			c := grid.Cell(pi, 0, 0)
+			g, col := c.G, c.Sample.Coloring
+			delta := g.MaxDegree()
+			palette := delta*delta + 1
+			d2 := graph.NewDist2View(g)
+			zetas := sparsity.AllSparsities(d2, delta)
+			var sumZ, sumSlack, minRatio float64
+			minRatio = math.Inf(1)
+			okCount, constrained := 0, 0
+			live := 0
+			for v := 0; v < g.NumNodes(); v++ {
+				z := zetas[v]
+				s := float64(sparsity.Slack(d2, col, palette, graph.NodeID(v)))
+				sumZ += z
+				sumSlack += s
+				if !col.IsColored(graph.NodeID(v)) {
+					live++
 				}
-				if s >= z/fourECubed {
-					okCount++
+				if z >= 1 {
+					constrained++
+					if ratio := s / z; ratio < minRatio {
+						minRatio = ratio
+					}
+					if s >= z/fourECubed {
+						okCount++
+					}
 				}
 			}
+			n := float64(g.NumNodes())
+			frac := 1.0
+			if constrained > 0 {
+				frac = float64(okCount) / float64(constrained)
+			}
+			if math.IsInf(minRatio, 1) {
+				minRatio = 0
+			}
+			t.AddRow(c.Label, itoa(g.NumNodes()), itoa(delta), ftoa(sumZ/n), ftoa(sumSlack/n),
+				ftoa(minRatio), ftoa(frac), itoa(live))
 		}
-		n := float64(g.NumNodes())
-		frac := 1.0
-		if constrained > 0 {
-			frac = float64(okCount) / float64(constrained)
-		}
-		if math.IsInf(minRatio, 1) {
-			minRatio = 0
-		}
-		t.AddRow(w.name, itoa(g.NumNodes()), itoa(delta), ftoa(sumZ/n), ftoa(sumSlack/n),
-			ftoa(minRatio), ftoa(frac), itoa(live))
-	}
-	t.AddNote("expected shape: the fraction of nodes with slack ≥ ζ/(4e³) is ≈ 1 on every workload")
-	return t, nil
+		t.AddNote("expected shape: the fraction of nodes with slack ≥ ζ/(4e³) is ≈ 1 on every workload")
+	})
 }
 
 // runE10 exercises the Reduce machinery (queries, helper trials, forwarded
@@ -334,15 +351,12 @@ func runE10(cfg Config) (*Table, error) {
 		Columns: []string{"workload", "n", "Δ", "live after step 2", "reduce phases",
 			"queries sent", "queries dropped", "proposals", "colored by reduce", "live at finish"},
 	}
-	workloads := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"petersen", graph.Petersen()},
-		{"hoffman-singleton", graph.HoffmanSingleton()},
+	points := []sweep.Point{
+		{Label: "petersen", Build: func() (*graph.Graph, string, error) { return graph.Petersen(), "", nil }},
+		{Label: "hoffman-singleton", Build: func() (*graph.Graph, string, error) { return graph.HoffmanSingleton(), "", nil }},
 	}
 	if cfg.Quick {
-		workloads = workloads[1:]
+		points = points[1:]
 	}
 	// Reduced initial budget and aggressive query/activity probabilities so
 	// that live nodes actually reach the main loop at n ≤ 50 (the paper's
@@ -352,33 +366,39 @@ func runE10(cfg Config) (*Table, error) {
 	params.C1 = 0.9
 	params.QueryDenominator = 1
 	params.ActiveDenominator = 1
-	for _, w := range workloads {
-		res, err := randd2.Run(w.g, randd2.Options{
-			Variant:                      randd2.VariantImproved,
-			Params:                       &params,
-			Seed:                         cfg.Seed,
-			Parallel:                     cfg.Parallel,
-			DisableDeterministicFallback: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		liveAfterStep2 := w.g.NumNodes() - res.InitialColored
-		phases, queries, dropped, proposals, colored := 0, 0, 0, 0, 0
-		for _, s := range res.ReduceStats {
-			phases += s.Phases
-			queries += s.QueriesSent
-			dropped += s.QueriesDropped
-			proposals += s.Proposals
-			colored += s.NodesColored
-		}
-		t.AddRow(w.name, itoa(w.g.NumNodes()), itoa(w.g.MaxDegree()), itoa(liveAfterStep2),
-			itoa(phases), itoa(queries), itoa(dropped), itoa(proposals), itoa(colored),
-			itoa(res.PaletteStats.LiveNodes))
+	spec := sweep.Spec{
+		Name:   "E10",
+		Points: points,
+		Algorithms: []sweep.AlgAxis{
+			{Alg: randd2.Algorithm(randd2.Options{
+				Variant:                      randd2.VariantImproved,
+				Params:                       &params,
+				DisableDeterministicFallback: true,
+			}), Reps: 1},
+		},
+		Engines: cfg.engineAxis(),
+		Seed:    cfg.Seed,
 	}
-	t.AddNote("expected shape: queries and proposals are non-zero and a positive number of live nodes are colored by Reduce itself (the rest are finished by LearnPalette+FinishColoring)")
-	t.AddNote("only the 5-cycle, Petersen and Hoffman–Singleton graphs realize the exact Δ²-dense regime; larger dense instances do not exist (Moore bound), which is why the asymptotic analysis works with near-dense 'solid' nodes instead")
-	return t, nil
+	return runGrid(cfg, spec, t, func(grid *sweep.Grid) {
+		for pi := range points {
+			c := grid.Cell(pi, 0, 0)
+			res := c.Sample.Details.(*randd2.Result)
+			liveAfterStep2 := c.G.NumNodes() - res.InitialColored
+			phases, queries, dropped, proposals, colored := 0, 0, 0, 0, 0
+			for _, s := range res.ReduceStats {
+				phases += s.Phases
+				queries += s.QueriesSent
+				dropped += s.QueriesDropped
+				proposals += s.Proposals
+				colored += s.NodesColored
+			}
+			t.AddRow(c.Label, itoa(c.G.NumNodes()), itoa(c.G.MaxDegree()), itoa(liveAfterStep2),
+				itoa(phases), itoa(queries), itoa(dropped), itoa(proposals), itoa(colored),
+				itoa(res.PaletteStats.LiveNodes))
+		}
+		t.AddNote("expected shape: queries and proposals are non-zero and a positive number of live nodes are colored by Reduce itself (the rest are finished by LearnPalette+FinishColoring)")
+		t.AddNote("only the 5-cycle, Petersen and Hoffman–Singleton graphs realize the exact Δ²-dense regime; larger dense instances do not exist (Moore bound), which is why the asymptotic analysis works with near-dense 'solid' nodes instead")
+	})
 }
 
 func maxI(a, b int) int {

@@ -1,17 +1,25 @@
-// Package harness defines and runs the experiments E1–E9 that reproduce the
-// quantitative claims of the paper (see DESIGN.md §3 and EXPERIMENTS.md).
+// Package harness defines and runs the experiments E1–E10 that reproduce the
+// quantitative claims of the paper (see EXPERIMENTS.md and DESIGN.md §8).
 //
 // The paper is a theory paper without empirical tables; each experiment
 // regenerates a table whose *shape* validates one theorem or lemma: round
 // counts scale as the theorem's bound predicts, palettes stay within the
 // stated size, and the baselines lose where the paper says they must.
+//
+// Each experiment is declarative: a sweep.Spec (a grid of workload points ×
+// algorithm instances × engines × seed repetitions, executed grid-parallel
+// by internal/sweep) plus a small row-shaping closure that turns the
+// aggregated cells into a Table. The generated tables are byte-identical for
+// every Config.Jobs value, apart from the wall-clock note each one ends with.
 package harness
 
 import (
-	"fmt"
 	"io"
 	"runtime"
 	"sort"
+
+	"d2color/internal/alg"
+	"d2color/internal/sweep"
 )
 
 // Config controls every experiment run.
@@ -25,12 +33,19 @@ type Config struct {
 	Repetitions int
 	// Parallel runs the message-level simulations inside the experiments on
 	// the sharded-parallel CONGEST engine. The engines are byte-deterministic
-	// with each other, so the generated tables are identical either way.
+	// with each other, so the generated tables are identical either way. It
+	// only engages when the grid itself runs sequentially (Jobs == 1):
+	// nesting sharded engines inside a saturated cell pool would add
+	// scheduling overhead without changing a single table cell.
 	Parallel bool
-	// Workers bounds the worker pool that fans out averaged repetitions
-	// (independent runs with distinct seeds); 0 means GOMAXPROCS, 1 disables
-	// the fan-out. The fold is performed in repetition order, so tables are
-	// byte-identical for every Workers value.
+	// Jobs bounds the worker pool that fans the sweep grid's cells
+	// (workload × algorithm × engine combinations, each with its repetitions
+	// folded in order) over the machine; 0 means GOMAXPROCS, 1 disables the
+	// fan-out. Tables are byte-identical for every value, apart from the
+	// wall-clock note Render appends.
+	Jobs int
+	// Workers is the deprecated name of Jobs (it used to bound the
+	// repetition-only fan-out); it is honored when Jobs is 0.
 	Workers int
 }
 
@@ -44,12 +59,38 @@ func (c Config) reps() int {
 	return 3
 }
 
-// repWorkers resolves the repetition fan-out bound.
-func (c Config) repWorkers() int {
+// jobs resolves the grid fan-out bound.
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
 	if c.Workers > 0 {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// engineAxis returns the single-engine axis the experiment specs run on: the
+// config's engine choice when the grid is sequential, the sequential engine
+// when cells fan out (see Config.Parallel).
+func (c Config) engineAxis() []sweep.EngineAxis {
+	if c.Parallel && c.jobs() == 1 {
+		return []sweep.EngineAxis{{Name: "parallel", Engine: alg.Engine{Parallel: true}}}
+	}
+	return []sweep.EngineAxis{{Name: "sequential"}}
+}
+
+// runGrid executes the spec with the config's fan-out and shapes the grid
+// into t (typically one row per cell or per point); it stamps the sweep's
+// wall clock on the table so rendered sweeps are self-profiling.
+func runGrid(cfg Config, spec sweep.Spec, t *Table, shape func(grid *sweep.Grid)) (*Table, error) {
+	grid, err := sweep.Run(spec, sweep.Options{Jobs: cfg.jobs()})
+	if err != nil {
+		return nil, err
+	}
+	shape(grid)
+	t.Elapsed = grid.Elapsed
+	return t, nil
 }
 
 // Experiment is one reproducible experiment.
@@ -140,14 +181,5 @@ func ByID(id string) (Experiment, bool) {
 
 // RunAll runs every experiment and renders the tables to w.
 func RunAll(cfg Config, w io.Writer) error {
-	for _, e := range All() {
-		table, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("harness: %s: %w", e.ID, err)
-		}
-		if err := table.Render(w); err != nil {
-			return fmt.Errorf("harness: render %s: %w", e.ID, err)
-		}
-	}
-	return nil
+	return Run(cfg, nil, TextSink{W: w})
 }

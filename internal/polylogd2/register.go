@@ -1,0 +1,40 @@
+package polylogd2
+
+import (
+	"d2color/internal/alg"
+	"d2color/internal/graph"
+)
+
+// Algorithm wraps the Theorem-1.3 (1+ε)Δ² coloring in the unified
+// alg.Algorithm interface. A zero Epsilon in the fixed options means 1.
+// Instances using the zero-round randomized splitting are seed-dependent and
+// therefore classed Randomized (the sweep engine then averages repetitions
+// instead of collapsing them to one).
+func Algorithm(opts Options) alg.Algorithm {
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1
+	}
+	class := alg.Deterministic
+	if opts.UseRandomizedSplit {
+		class = alg.Randomized
+	}
+	return alg.Func{
+		AlgName: "polylog",
+		Class:   class,
+		Palette: func(g *graph.Graph) int {
+			d := g.MaxDegree()
+			return paletteBound(d*d, opts.Epsilon)
+		},
+		RunFunc: func(g *graph.Graph, eng alg.Engine, seed uint64) (alg.Result, error) {
+			o := opts
+			o.Seed = seed
+			r, err := ColorG2(g, o)
+			if err != nil {
+				return alg.Result{}, err
+			}
+			return alg.Result{Coloring: r.Coloring, PaletteSize: r.PaletteBound, Metrics: r.Metrics, Details: &r}, nil
+		},
+	}
+}
+
+func init() { alg.Register(Algorithm(Options{})) }

@@ -1,0 +1,68 @@
+package sweep_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"d2color/internal/alg"
+	"d2color/internal/graph"
+	"d2color/internal/sweep"
+
+	_ "d2color/internal/randd2"
+)
+
+// benchSpec is a fixed 12-cell grid (4 GNP points × 3 repetitions each over
+// the improved randomized algorithm + the deterministic pipeline), the shape
+// of one harness experiment.
+func benchSpec() sweep.Spec {
+	var points []sweep.Point
+	for _, n := range []int{256, 512, 768, 1024} {
+		n := n
+		points = append(points, sweep.Point{
+			Label: fmt.Sprintf("gnp-%d", n),
+			Build: func() (*graph.Graph, string, error) {
+				return graph.GNPWithAverageDegree(n, 12, int64(n)), "", nil
+			},
+		})
+	}
+	return sweep.Spec{
+		Name:   "bench",
+		Points: points,
+		Algorithms: []sweep.AlgAxis{
+			{Alg: alg.MustGet("rand-improved")},
+			{Alg: alg.MustGet("rand-basic")},
+			{Alg: alg.MustGet("deterministic")},
+		},
+		Reps: 3,
+		Seed: 1,
+	}
+}
+
+// BenchmarkSweepGrid measures the grid scheduler: the same 12-cell spec
+// executed sequentially and fanned over the machine. The generated aggregates
+// are byte-identical (asserted by the sweep and harness determinism tests);
+// only the wall clock may differ.
+func BenchmarkSweepGrid(b *testing.B) {
+	spec := benchSpec()
+	for _, bc := range []struct {
+		name string
+		jobs int
+	}{
+		{"sequential", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				grid, err := sweep.Run(spec, sweep.Options{Jobs: bc.jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(grid.Cells) != 12 {
+					b.Fatalf("cells = %d, want 12", len(grid.Cells))
+				}
+			}
+		})
+	}
+}
