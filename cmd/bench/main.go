@@ -1,0 +1,163 @@
+// Command bench runs the repository's pinned benchmark set with -benchmem
+// and writes a JSON snapshot mapping each benchmark to its ns/op, B/op and
+// allocs/op. The snapshot starts the perf trajectory of the project: every
+// PR regenerates BENCH_<pr>.json through the CI bench step, so regressions
+// in the hot kernels (trial phases, verification, greedy picks, the message
+// plane, the distance-2 stream and the sweep grid) are visible as diffs
+// between snapshots rather than anecdotes.
+//
+// Run from the repository root:
+//
+//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_5.json
+//	go run ./cmd/bench -benchtime 5x        # steadier numbers
+//	go run ./cmd/bench -out snapshots/B.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pinnedSet is the benchmark selection the snapshot tracks: one entry per
+// hot subsystem, chosen so the set stays fast enough for CI yet covers every
+// kernel the perf work of PRs 1–5 optimized.
+var pinnedSet = []struct {
+	pkg   string
+	bench string
+}{
+	{"./internal/trial", "BenchmarkTrialPhase$"},
+	{"./internal/verify", "BenchmarkVerify$|BenchmarkVerifyWarmed|BenchmarkVerifyOutOfRange"},
+	{"./internal/baseline", "BenchmarkGreedyD2$|BenchmarkJohanssonD1$"},
+	{"./internal/bitset", "BenchmarkFirstFreePick"},
+	{"./internal/congest", "BenchmarkDeliver|BenchmarkPayloadRound"},
+	{"./internal/graph", "BenchmarkDist2View$|BenchmarkBuilder"},
+	{"./internal/sweep", "BenchmarkSweepGrid"},
+}
+
+// measurement is one benchmark's snapshot entry.
+type measurement struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// snapshot is the file layout of BENCH_<pr>.json.
+type snapshot struct {
+	Benchtime  string                 `json:"benchtime"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "BENCH_5.json", "snapshot file to write")
+		benchtime = fs.String("benchtime", "1x", "-benchtime passed to go test (1x = smoke, 5x+ = steadier)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	snap := snapshot{Benchtime: *benchtime, Benchmarks: map[string]measurement{}}
+	for _, entry := range pinnedSet {
+		fmt.Fprintf(stdout, "== %s -bench %s\n", entry.pkg, entry.bench)
+		cmd := exec.Command("go", "test", entry.pkg, "-run", "^$",
+			"-bench", entry.bench, "-benchmem", "-benchtime", *benchtime)
+		cmd.Stderr = os.Stderr
+		output, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("%s: %w", entry.pkg, err)
+		}
+		stdout.Write(output)
+		prefix := strings.TrimPrefix(entry.pkg, "./internal/")
+		for name, m := range parseBenchOutput(string(output)) {
+			snap.Benchmarks[prefix+"/"+name] = m
+		}
+	}
+
+	data, err := json.MarshalIndent(orderedSnapshot(snap), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	return nil
+}
+
+// gomaxprocsSuffix strips the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, so snapshots compare across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts name → measurement from `go test -bench` output.
+// A result line is the benchmark name, the iteration count, then value/unit
+// pairs (ns/op always; B/op and allocs/op with -benchmem; custom
+// ReportMetric units are ignored).
+func parseBenchOutput(output string) map[string]measurement {
+	results := map[string]measurement{}
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var m measurement
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = value
+				ok = true
+			case "B/op":
+				m.BytesPerOp = value
+			case "allocs/op":
+				m.AllocsPerOp = value
+			}
+		}
+		if ok {
+			results[name] = m
+		}
+	}
+	return results
+}
+
+// orderedSnapshot re-marshals the map through a sorted intermediate so the
+// snapshot file is stable under diff.
+func orderedSnapshot(s snapshot) any {
+	names := make([]string, 0, len(s.Benchmarks))
+	for name := range s.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type namedMeasurement struct {
+		Name string `json:"name"`
+		measurement
+	}
+	out := struct {
+		Benchtime  string             `json:"benchtime"`
+		Benchmarks []namedMeasurement `json:"benchmarks"`
+	}{Benchtime: s.Benchtime}
+	for _, name := range names {
+		out.Benchmarks = append(out.Benchmarks, namedMeasurement{Name: name, measurement: s.Benchmarks[name]})
+	}
+	return out
+}

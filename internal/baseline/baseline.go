@@ -18,6 +18,7 @@ package baseline
 import (
 	"fmt"
 
+	"d2color/internal/bitset"
 	"d2color/internal/coloring"
 	"d2color/internal/congest"
 	"d2color/internal/graph"
@@ -52,34 +53,41 @@ type Options struct {
 // color not used within distance 2. It uses at most Δ(G²)+1 ≤ Δ²+1 colors and
 // zero communication rounds; it is the correctness and color-count reference.
 // Distance-2 neighborhoods are streamed from the CSR arrays — the square is
-// never materialized, so the greedy floor scales to harness-sized graphs.
+// never materialized — and the used-color set is a palette bitset, so the
+// first-free pick is a TrailingZeros64 word scan instead of an
+// element-at-a-time prefix walk; the greedy floor scales to million-node
+// graphs.
 func GreedyD2(g *graph.Graph) Result {
 	d2 := graph.NewDist2View(g)
-	c := coloring.New(g.NumNodes())
-	// used is a dense scratch table over colors; only the entries set for the
-	// current node (tracked in touched) are cleared between nodes.
-	var used []bool
-	var touched []int
-	for v := 0; v < g.NumNodes(); v++ {
-		d2.ForEachDist2(graph.NodeID(v), func(u graph.NodeID) bool {
-			if col := c[u]; col != coloring.Uncolored {
-				for col >= len(used) {
-					used = append(used, false)
-				}
-				if !used[col] {
-					used[col] = true
-					touched = append(touched, col)
-				}
-			}
-			return true
-		})
-		col := 0
-		for col < len(used) && used[col] {
-			col++
+	n := g.NumNodes()
+	c := coloring.New(n)
+	// Greedy assigns node v a color at most its d2-degree, so Δ(G²)+1 bits
+	// bound every pick; +1 more keeps FirstZero in range when a node's whole
+	// prefix is used. The walk visits the raw 1- and 2-hop lists without
+	// deduplication: marking a color twice is idempotent and a one-word
+	// bit-op on the L1-resident palette row, cheaper than the dist-2 view's
+	// per-visit membership probe into an n-sized mark buffer (v itself needs
+	// no exclusion — it is still uncolored when its own pick runs). Only the
+	// bits set for the current node (tracked in touched) are cleared between
+	// nodes.
+	used := bitset.NewFixed(d2.MaxDist2Degree() + 2)
+	var touched []int32
+	mark := func(col int) {
+		if col != coloring.Uncolored && !used.Test(col) {
+			used.Set(col)
+			touched = append(touched, int32(col))
 		}
-		c[v] = col
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			mark(c[u])
+			for _, w := range g.Neighbors(u) {
+				mark(c[w])
+			}
+		}
+		c[v] = used.FirstZero()
 		for _, t := range touched {
-			used[t] = false
+			used.Clear(int(t))
 		}
 		touched = touched[:0]
 	}
@@ -90,21 +98,24 @@ func GreedyD2(g *graph.Graph) Result {
 	}
 }
 
-// GreedyD1 colors G sequentially with at most Δ+1 colors.
+// GreedyD1 colors G sequentially with at most Δ+1 colors, picking first-free
+// colors by word scan like GreedyD2.
 func GreedyD1(g *graph.Graph) Result {
 	c := coloring.New(g.NumNodes())
+	used := bitset.NewFixed(g.MaxDegree() + 2)
+	var touched []int32
 	for v := 0; v < g.NumNodes(); v++ {
-		used := make(map[int]bool, g.Degree(graph.NodeID(v)))
 		for _, u := range g.Neighbors(graph.NodeID(v)) {
-			if c[u] != coloring.Uncolored {
-				used[c[u]] = true
+			if col := c[u]; col != coloring.Uncolored && !used.Test(col) {
+				used.Set(col)
+				touched = append(touched, int32(col))
 			}
 		}
-		col := 0
-		for used[col] {
-			col++
+		c[v] = used.FirstZero()
+		for _, t := range touched {
+			used.Clear(int(t))
 		}
-		c[v] = col
+		touched = touched[:0]
 	}
 	return Result{Coloring: c, PaletteSize: g.MaxDegree() + 1, Algorithm: "greedy-d1"}
 }

@@ -1,0 +1,22 @@
+package baseline
+
+import (
+	"testing"
+
+	"d2color/internal/graph"
+)
+
+// BenchmarkGreedyD2Scale1M measures the greedy floor at the million-node
+// scale of experiment E11. Excluded from the pinned CI set; run manually to
+// reproduce the README scale table.
+func BenchmarkGreedyD2Scale1M(b *testing.B) {
+	g := graph.GNPWithAverageDegree(1_000_000, 8, 23)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := GreedyD2(g)
+		if !r.Coloring.Complete() {
+			b.Fatal("greedy left nodes uncolored")
+		}
+	}
+}

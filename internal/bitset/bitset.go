@@ -1,0 +1,321 @@
+// Package bitset provides the word-parallel palette kernels shared by every
+// color-set consumer in the repository: the trial runner's per-node
+// known-colors sets, the verifier's conflict tables, the greedy baselines'
+// first-free picks and the deterministic pipeline's reduction scratch.
+//
+// The paper's algorithms spend their hot loops answering two queries — "is
+// color c used nearby?" and "what is a free color?". Both are one-word
+// operations on a dense bitset: membership is a single AND, free-color
+// selection is a word scan driven by bits.TrailingZeros64. The package
+// offers three shapes:
+//
+//   - Row: a raw []uint64 view, for flat per-node regions carved out of one
+//     backing slice (the trial kernel stores n palette rows contiguously);
+//   - Fixed: a sized bitset with O(1) epoch-free ops and a reusable backing
+//     array (Resize reuses capacity), mirroring graph.MarkSet's pooled-reuse
+//     contract for callers that clear between uses;
+//   - Stamped: a generation-stamped bitset whose Reset is O(1) — each word
+//     carries a stamp and lazily zeroes itself on first touch of a new
+//     generation — for per-neighborhood scratch reset millions of times.
+//
+// All three are deliberately bounds-unchecked beyond the slice's own checks:
+// callers index within the capacity they allocated, exactly like the flat
+// arrays these kernels replace.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// WordsFor returns the number of uint64 words needed to hold nbits bits.
+func WordsFor(nbits int) int {
+	if nbits <= 0 {
+		return 0
+	}
+	return (nbits + wordBits - 1) / wordBits
+}
+
+// Row is a bitset view over a raw word slice. It carries no length of its
+// own: the caller decides which bit range [0, limit) is meaningful and must
+// only Set bits inside it (Count and NthSet trust that contract, which is
+// what makes them plain popcounts).
+type Row []uint64
+
+// Set sets bit i.
+func (r Row) Set(i int) { r[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (r Row) Clear(i int) { r[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set — the one-AND membership query.
+func (r Row) Test(i int) bool { return r[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// ClearAll zeroes every word.
+func (r Row) ClearAll() {
+	for i := range r {
+		r[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (r Row) Count() int {
+	n := 0
+	for _, w := range r {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// UnionInto ors this row into dst (dst must be at least as long).
+func (r Row) UnionInto(dst Row) {
+	for i, w := range r {
+		dst[i] |= w
+	}
+}
+
+// AndNotCount returns the number of bits set in r but not in other (which
+// must be at least as long) — popcount(r &^ other) without materializing it.
+func (r Row) AndNotCount(other Row) int {
+	n := 0
+	for i, w := range r {
+		n += bits.OnesCount64(w &^ other[i])
+	}
+	return n
+}
+
+// FirstZero returns the smallest clear bit below limit, or -1 if bits
+// [0, limit) are all set. One TrailingZeros64 per full word.
+func (r Row) FirstZero(limit int) int {
+	return r.NextZero(0, limit)
+}
+
+// NextZero returns the smallest clear bit in [from, limit), or -1.
+func (r Row) NextZero(from, limit int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= limit {
+		return -1
+	}
+	wi := from >> 6
+	// First (possibly partial) word: mask off bits below from.
+	w := ^r[wi] & (^uint64(0) << (uint(from) & 63))
+	for {
+		if w != 0 {
+			i := wi*wordBits + bits.TrailingZeros64(w)
+			if i >= limit {
+				return -1
+			}
+			return i
+		}
+		wi++
+		if wi*wordBits >= limit {
+			return -1
+		}
+		w = ^r[wi]
+	}
+}
+
+// NthZero returns the k-th (0-based, in ascending order) clear bit below
+// limit, or -1 if fewer than k+1 bits are clear. It skips whole words by
+// popcount and selects inside the final word bit by bit — the free-color
+// sampling primitive ("draw the idx-th color not known used").
+func (r Row) NthZero(k, limit int) int {
+	if k < 0 || limit <= 0 {
+		return -1
+	}
+	full := limit >> 6
+	for wi := 0; wi < full; wi++ {
+		w := ^r[wi]
+		z := bits.OnesCount64(w)
+		if k >= z {
+			k -= z
+			continue
+		}
+		return wi*wordBits + selectBit(w, k)
+	}
+	if rem := limit & 63; rem != 0 {
+		w := ^r[full] & (1<<uint(rem) - 1)
+		if k < bits.OnesCount64(w) {
+			return full*wordBits + selectBit(w, k)
+		}
+	}
+	return -1
+}
+
+// NthSet returns the k-th (0-based, ascending) set bit, or -1 if fewer than
+// k+1 bits are set — the "pick the i-th smallest remaining color" primitive.
+func (r Row) NthSet(k int) int {
+	if k < 0 {
+		return -1
+	}
+	for wi, w := range r {
+		z := bits.OnesCount64(w)
+		if k >= z {
+			k -= z
+			continue
+		}
+		return wi*wordBits + selectBit(w, k)
+	}
+	return -1
+}
+
+// selectBit returns the position of the k-th (0-based) set bit of w; the
+// caller guarantees w has more than k set bits.
+func selectBit(w uint64, k int) int {
+	for ; k > 0; k-- {
+		w &= w - 1
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// Fixed is a sized bitset over [0, Len()). Resize reuses the backing array,
+// so a pooled Fixed serves workloads of varying palette sizes without
+// reallocating — the same reuse contract as graph.MarkSet.
+type Fixed struct {
+	bits Row
+	n    int
+}
+
+// NewFixed returns a bitset for bits 0..n-1, all clear.
+func NewFixed(n int) *Fixed {
+	f := &Fixed{}
+	f.Resize(n)
+	return f
+}
+
+// Resize re-dimensions the set to n bits and clears it, reusing the backing
+// array when it is large enough.
+func (f *Fixed) Resize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w := WordsFor(n)
+	if cap(f.bits) < w {
+		f.bits = make(Row, w)
+	} else {
+		f.bits = f.bits[:w]
+		f.bits.ClearAll()
+	}
+	f.n = n
+}
+
+// Len returns the bit range of the set.
+func (f *Fixed) Len() int { return f.n }
+
+// Row exposes the underlying words (for bulk operations such as building a
+// complement row).
+func (f *Fixed) Row() Row { return f.bits }
+
+// Set sets bit i (i must be < Len()).
+func (f *Fixed) Set(i int) { f.bits.Set(i) }
+
+// Clear clears bit i.
+func (f *Fixed) Clear(i int) { f.bits.Clear(i) }
+
+// Test reports whether bit i is set.
+func (f *Fixed) Test(i int) bool { return f.bits.Test(i) }
+
+// ClearAll clears every bit.
+func (f *Fixed) ClearAll() { f.bits.ClearAll() }
+
+// Count returns the number of set bits.
+func (f *Fixed) Count() int { return f.bits.Count() }
+
+// FirstZero returns the smallest clear bit, or -1 if the set is full.
+func (f *Fixed) FirstZero() int { return f.bits.FirstZero(f.n) }
+
+// NextZero returns the smallest clear bit >= from, or -1.
+func (f *Fixed) NextZero(from int) int { return f.bits.NextZero(from, f.n) }
+
+// NthZero returns the k-th clear bit in ascending order, or -1.
+func (f *Fixed) NthZero(k int) int { return f.bits.NthZero(k, f.n) }
+
+// NthSet returns the k-th set bit in ascending order, or -1.
+func (f *Fixed) NthSet(k int) int { return f.bits.NthSet(k) }
+
+// Stamped is a generation-stamped bitset: Reset is O(1) (a generation bump),
+// and each word lazily zeroes itself the first time it is touched in a new
+// generation. It is the bit-granular analogue of graph.MarkSet, 32× denser,
+// built for per-neighborhood conflict scratch that is reset millions of
+// times per pass.
+type Stamped struct {
+	words []uint64
+	stamp []uint32
+	gen   uint32
+	n     int
+}
+
+// NewStamped returns a stamped bitset for bits 0..n-1, all clear.
+func NewStamped(n int) *Stamped {
+	s := &Stamped{gen: 1}
+	s.Grow(n)
+	return s
+}
+
+// Grow ensures the set covers bits 0..n-1, reusing the backing arrays and
+// keeping the current generation (freshly appended words carry stamp 0,
+// which never equals a live generation, so they read as clear).
+func (s *Stamped) Grow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w := WordsFor(n)
+	if w > len(s.words) {
+		if w <= cap(s.words) {
+			s.words = s.words[:w]
+			s.stamp = s.stamp[:w]
+		} else {
+			words := make([]uint64, w)
+			stamp := make([]uint32, w)
+			copy(words, s.words)
+			copy(stamp, s.stamp)
+			s.words, s.stamp = words, stamp
+		}
+	}
+	if n > s.n {
+		s.n = n
+	}
+}
+
+// Len returns the bit range of the set.
+func (s *Stamped) Len() int { return s.n }
+
+// Reset clears the whole set in O(1) by advancing the generation.
+func (s *Stamped) Reset() {
+	s.gen++
+	if s.gen == 0 { // wrapped after 2³² resets: clear once, start over
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+}
+
+// word returns the current-generation value of word wi, zeroing it lazily.
+func (s *Stamped) word(wi int) *uint64 {
+	if s.stamp[wi] != s.gen {
+		s.stamp[wi] = s.gen
+		s.words[wi] = 0
+	}
+	return &s.words[wi]
+}
+
+// Test reports whether bit i is set in the current generation.
+func (s *Stamped) Test(i int) bool {
+	wi := i >> 6
+	return s.stamp[wi] == s.gen && s.words[wi]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i in the current generation.
+func (s *Stamped) Set(i int) { *s.word(i >> 6) |= 1 << (uint(i) & 63) }
+
+// TestAndSet sets bit i and reports whether it was already set — the fused
+// "have I seen this color in this neighborhood?" query of the verifier.
+func (s *Stamped) TestAndSet(i int) bool {
+	w := s.word(i >> 6)
+	mask := uint64(1) << (uint(i) & 63)
+	old := *w&mask != 0
+	*w |= mask
+	return old
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"d2color/internal/bitset"
 	"d2color/internal/coloring"
 	"d2color/internal/congest"
 	"d2color/internal/graph"
@@ -326,6 +327,10 @@ func locallyIterative(h ConflictGraph, input coloring.Coloring, inputPalette int
 	out := coloring.New(n)
 	phasesUsed := 0
 	remaining := n
+	// Phase scratch, hoisted out of the loop: the snapshot semantics only
+	// need the buffers rewritten, not reallocated, each phase.
+	tries := make([]int, n)
+	adopt := make([]bool, n)
 	for i := 0; i < q && remaining > 0; i++ {
 		phasesUsed++
 		// Every uncolored node tries p_v(i); a try succeeds iff no H-neighbor
@@ -333,15 +338,14 @@ func locallyIterative(h ConflictGraph, input coloring.Coloring, inputPalette int
 		// (simultaneous identical tries both fail, as in the paper). Adoption
 		// decisions are evaluated against the snapshot at the start of the
 		// phase and applied afterwards.
-		tries := make([]int, n)
 		for v := 0; v < n; v++ {
 			tries[v] = -1
 			if out[v] == coloring.Uncolored {
 				tries[v] = (as[v] + bs[v]*i) % q
 			}
 		}
-		adopt := make([]bool, n)
 		for v := 0; v < n; v++ {
+			adopt[v] = false
 			if tries[v] < 0 {
 				continue
 			}
@@ -383,8 +387,12 @@ func reduceColors(h ConflictGraph, input coloring.Coloring, target int) (colorin
 	if maxPhases < 1 {
 		maxPhases = 1
 	}
+	// used is the palette bitset behind every free-color pick, shared across
+	// phases; the pick itself is a FirstZero word scan.
+	used := bitset.NewFixed(target)
+	var recolor []int
 	for ; phases < maxPhases; phases++ {
-		recolor := make([]int, 0)
+		recolor = recolor[:0]
 		for v := 0; v < n; v++ {
 			if out[v] < target {
 				continue
@@ -404,19 +412,13 @@ func reduceColors(h ConflictGraph, input coloring.Coloring, target int) (colorin
 			break
 		}
 		for _, v := range recolor {
-			used := make([]bool, target)
+			used.ClearAll()
 			for _, u := range h.Neighbors(graph.NodeID(v)) {
 				if out[u] >= 0 && out[u] < target {
-					used[out[u]] = true
+					used.Set(out[u])
 				}
 			}
-			newColor := -1
-			for c := 0; c < target; c++ {
-				if !used[c] {
-					newColor = c
-					break
-				}
-			}
+			newColor := used.FirstZero()
 			if newColor < 0 {
 				return nil, phases, fmt.Errorf("%w: no free color below %d for node %d", ErrIncomplete, target, v)
 			}

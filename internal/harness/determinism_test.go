@@ -52,13 +52,17 @@ func TestSweepMatchesPreRefactorGoldens(t *testing.T) {
 
 // TestAllExperimentsJobsInvariant asserts that every experiment's table is
 // byte-identical for a sequential and a saturated grid (the order-preserving
-// fold argument of DESIGN.md §8).
+// fold argument of DESIGN.md §8). Volatile experiments (E11's wall-clock and
+// RSS columns) cannot be compared byte-wise and have their own smoke test.
 func TestAllExperimentsJobsInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full quick sweeps twice")
 	}
 	for _, e := range All() {
 		e := e
+		if e.Volatile {
+			continue
+		}
 		t.Run(e.ID, func(t *testing.T) {
 			seq, err := e.Run(Config{Quick: true, Seed: 1, Repetitions: 2, Jobs: 1})
 			if err != nil {

@@ -1,5 +1,6 @@
-// Package harness defines and runs the experiments E1–E10 that reproduce the
-// quantitative claims of the paper (see EXPERIMENTS.md and DESIGN.md §8).
+// Package harness defines and runs the experiments E1–E11 that reproduce the
+// quantitative claims of the paper, plus the million-node scale experiment
+// (see EXPERIMENTS.md and DESIGN.md §8).
 //
 // The paper is a theory paper without empirical tables; each experiment
 // regenerates a table whose *shape* validates one theorem or lemma: round
@@ -99,6 +100,11 @@ type Experiment struct {
 	Title string
 	Claim string
 	Run   func(cfg Config) (*Table, error)
+	// Volatile marks experiments whose tables contain inherently
+	// machine-dependent columns (wall clock, RSS); byte-identity
+	// comparisons must skip them. The workload/measurement columns of a
+	// volatile table are still deterministic per seed.
+	Volatile bool
 }
 
 // All returns the experiments in ID order.
@@ -163,6 +169,13 @@ func All() []Experiment {
 			Title: "Reduce machinery in the dense regime (Moore graphs)",
 			Claim: "Section 2.1: colored helpers' queries and proposals colour live nodes when neighbourhoods are Δ²-dense",
 			Run:   runE10,
+		},
+		{
+			ID:       "E11",
+			Title:    "Million-node scale: throughput and memory of the palette kernels",
+			Claim:    "ROADMAP north star: sparse n = 10⁶ workloads fit in commodity memory and color at scale",
+			Run:      runE11,
+			Volatile: true,
 		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })

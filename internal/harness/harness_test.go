@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsDefined(t *testing.T) {
 	exps := All()
-	if len(exps) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(exps))
+	if len(exps) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(exps))
 	}
 	seen := make(map[string]bool)
 	for _, e := range exps {

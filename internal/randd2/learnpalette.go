@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"d2color/internal/bitset"
 	"d2color/internal/graph"
 )
 
@@ -13,6 +14,26 @@ type PaletteStats struct {
 	MaxMissing    int // max over live nodes of |Tv|, the colours learned only via the correction step (Lemma 2.15: O(log n))
 	MaxLivePerNbr int // max number of live d2-neighbours of any node (the precondition bound ϕ)
 	ChargedRounds int
+}
+
+// remainingPalettes is LearnPalette's output: one palette bitset row per
+// live node (set bit = colour still available), carved out of a single flat
+// backing slice. FinishColoring mutates the rows in place as colours get
+// claimed; len is a popcount, the i-th smallest remaining colour a word
+// scan.
+type remainingPalettes struct {
+	words []uint64
+	w     int     // words per row
+	row   []int32 // node -> row offset in words, -1 for non-live nodes
+}
+
+// has reports whether v owns a remaining-palette row.
+func (p *remainingPalettes) has(v graph.NodeID) bool { return p.row[v] >= 0 }
+
+// palette returns v's row (caller must check has first).
+func (p *remainingPalettes) palette(v graph.NodeID) bitset.Row {
+	base := int(p.row[v])
+	return bitset.Row(p.words[base : base+p.w])
 }
 
 // learnPalette implements Algorithm LearnPalette of Section 2.6.
@@ -28,13 +49,26 @@ type PaletteStats struct {
 // H-neighbours of v, the quantity Lemma 2.15 bounds by O(log n) — which the
 // harness reports.
 //
+// The colour sets are palette bitsets: the two observation sets are marked
+// bit by bit, |Tv| is popcount(usedAll &^ usedViaH), and the remaining
+// palette is the complement of usedAll — word operations over Δ²/64 words
+// instead of the former two fresh bool-slices per live node.
+//
 // Round charge (Theorem 2.16 with Z = Δ and P = Δ·sqrt(Δ·log n)):
 // O(ϕ) for the floodings of steps 1–2 plus O(log n) for steps 3–7, which is
 // O(log n) when Δ = Ω(log n). We charge ϕ + 4·log₂ n.
-func (r *runner) learnPalette() (remaining [][]int, stats PaletteStats) {
+func (r *runner) learnPalette() (remaining *remainingPalettes, stats PaletteStats) {
 	live := r.live
 	stats.LiveNodes = len(live)
-	remaining = make([][]int, r.n)
+	w := bitset.WordsFor(r.palette)
+	remaining = &remainingPalettes{
+		words: make([]uint64, len(live)*w),
+		w:     w,
+		row:   make([]int32, r.n),
+	}
+	for v := range remaining.row {
+		remaining.row[v] = -1
+	}
 
 	// Precondition quantity ϕ: live d2-neighbours per node.
 	for v := 0; v < r.n; v++ {
@@ -50,40 +84,38 @@ func (r *runner) learnPalette() (remaining [][]int, stats PaletteStats) {
 		}
 	}
 
-	for _, v := range live {
-		usedAll := make([]bool, r.palette)  // colours of all colored d2-neighbours
-		usedViaH := make([]bool, r.palette) // colours the handlers learn (from H-neighbours)
+	usedAll := bitset.NewFixed(r.palette)  // colours of all colored d2-neighbours
+	usedViaH := bitset.NewFixed(r.palette) // colours the handlers learn (from H-neighbours)
+	for li, v := range live {
+		usedAll.ClearAll()
+		usedViaH.ClearAll()
 		r.d2.ForEachDist2(v, func(u graph.NodeID) bool {
 			c := r.col[u]
 			if c < 0 || c >= r.palette {
 				return true
 			}
-			usedAll[c] = true
+			usedAll.Set(c)
 			if r.sim.isHNeighbor(v, u) {
-				usedViaH[c] = true
+				usedViaH.Set(c)
 			}
 			return true
 		})
 		// Tv: colours v did not learn through the handler mechanism and must
 		// recover via the correction step — exactly the colours used only by
 		// non-H d2-neighbours (proof of Lemma 2.15).
-		missing := 0
-		for c := 0; c < r.palette; c++ {
-			if usedAll[c] && !usedViaH[c] {
-				missing++
-			}
-		}
-		if missing > stats.MaxMissing {
+		if missing := usedAll.Row().AndNotCount(usedViaH.Row()); missing > stats.MaxMissing {
 			stats.MaxMissing = missing
 		}
-		// The protocol's guaranteed output: the exact remaining palette.
-		rem := make([]int, 0, r.palette)
-		for c := 0; c < r.palette; c++ {
-			if !usedAll[c] {
-				rem = append(rem, c)
-			}
+		// The protocol's guaranteed output: the exact remaining palette — the
+		// complement of usedAll inside [0, palette).
+		remaining.row[v] = int32(li * w)
+		rem := remaining.palette(v)
+		for wi, word := range usedAll.Row() {
+			rem[wi] = ^word
 		}
-		remaining[v] = rem
+		if extra := uint(w*64 - r.palette); extra > 0 {
+			rem[w-1] &= ^uint64(0) >> extra // mask the bits beyond the palette
+		}
 	}
 
 	stats.ChargedRounds = stats.MaxLivePerNbr + int(math.Ceil(4*log2(r.n)))
@@ -103,34 +135,32 @@ type FinishStats struct {
 // their d2-neighbourhood, which removes the colour from the neighbours'
 // remaining palettes. Lemma 2.14: completes in O(log n) phases w.h.p.
 //
+// The per-node palettes are the bitset rows LearnPalette built: the draw is
+// a popcount plus an NthSet word scan (the i-th smallest remaining colour,
+// matching the former sorted-set pick bit for bit), and a notification is
+// a one-word Clear.
+//
 // Round charge: 3 rounds per phase — the two rounds of the try plus one
 // amortized round for forwarding colour notifications two hops (the Busy
 // mechanism of Section 2.6 bounds the total backlog by the number of live
 // d2-neighbours, which the O(log n) phase bound already absorbs).
-func (r *runner) finishColoring(remaining [][]int) (FinishStats, error) {
+func (r *runner) finishColoring(remaining *remainingPalettes) (FinishStats, error) {
 	var stats FinishStats
 	maxPhases := r.params.MaxFinishPhases
 	if maxPhases <= 0 {
 		maxPhases = 64*int(math.Ceil(log2(r.n))) + 256
-	}
-	// Mutable per-live-node palettes.
-	avail := make([]map[int]struct{}, r.n)
-	for v := 0; v < r.n; v++ {
-		if remaining[v] == nil {
-			continue
-		}
-		m := make(map[int]struct{}, len(remaining[v]))
-		for _, c := range remaining[v] {
-			m[c] = struct{}{}
-		}
-		avail[v] = m
 	}
 
 	for phase := 0; phase < maxPhases && r.liveLeft > 0; phase++ {
 		stats.Phases++
 		r.beginTries()
 		for _, v := range r.live {
-			if avail[v] == nil || len(avail[v]) == 0 {
+			if !remaining.has(v) {
+				continue
+			}
+			avail := remaining.palette(v)
+			size := avail.Count()
+			if size == 0 {
 				// Cannot happen for a correct remaining palette (it always
 				// contains at least live-degree+1 colours); guard anyway.
 				continue
@@ -139,15 +169,15 @@ func (r *runner) finishColoring(remaining [][]int) (FinishStats, error) {
 			if !r.rand[v].Bool() {
 				continue
 			}
-			pick := r.rand[v].Intn(len(avail[v]))
-			r.setTry(v, nthFromSet(avail[v], pick))
+			pick := r.rand[v].Intn(size)
+			r.setTry(v, avail.NthSet(pick))
 		}
 		colored := r.resolveTries()
 		for _, v := range colored {
 			c := r.col[v]
 			r.d2.ForEachDist2(v, func(u graph.NodeID) bool {
-				if avail[u] != nil {
-					delete(avail[u], c)
+				if remaining.has(u) {
+					remaining.palette(u).Clear(c)
 				}
 				return true
 			})
@@ -159,23 +189,4 @@ func (r *runner) finishColoring(remaining [][]int) (FinishStats, error) {
 		return stats, fmt.Errorf("randd2: FinishColoring left %d live nodes after %d phases", r.liveLeft, stats.Phases)
 	}
 	return stats, nil
-}
-
-// nthFromSet returns the i-th smallest element of the set (deterministic
-// given the set contents, so runs are reproducible per seed).
-func nthFromSet(set map[int]struct{}, i int) int {
-	keys := make([]int, 0, len(set))
-	for k := range set {
-		keys = append(keys, k)
-	}
-	// Small sets (remaining palettes are O(log n)); insertion sort is fine.
-	for a := 1; a < len(keys); a++ {
-		for b := a; b > 0 && keys[b] < keys[b-1]; b-- {
-			keys[b], keys[b-1] = keys[b-1], keys[b]
-		}
-	}
-	if i < 0 || i >= len(keys) {
-		return -1
-	}
-	return keys[i]
 }

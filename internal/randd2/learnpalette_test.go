@@ -3,6 +3,7 @@ package randd2
 import (
 	"testing"
 
+	"d2color/internal/bitset"
 	"d2color/internal/coloring"
 	"d2color/internal/graph"
 	"d2color/internal/sparsity"
@@ -42,10 +43,11 @@ func TestLearnPaletteExactness(t *testing.T) {
 	}
 	for _, v := range r.live {
 		want := sparsity.Leeway(r.d2, r.col, r.palette, v)
-		if len(remaining[v]) != want {
-			t.Fatalf("node %d: remaining palette size %d, want leeway %d", v, len(remaining[v]), want)
+		rem := remainingColors(remaining, v)
+		if len(rem) != want {
+			t.Fatalf("node %d: remaining palette size %d, want leeway %d", v, len(rem), want)
 		}
-		for _, c := range remaining[v] {
+		for _, c := range rem {
 			if r.colorUsedByColoredD2Neighbor(v, c) {
 				t.Fatalf("node %d: colour %d reported available but used within distance 2", v, c)
 			}
@@ -87,7 +89,7 @@ func TestFinishColoringRespectsPreexistingColors(t *testing.T) {
 	// Node 0's colour must not appear in any live node's remaining palette
 	// (everyone is within distance 2 of node 0 on the Petersen graph).
 	for _, v := range r.live {
-		for _, c := range remaining[v] {
+		for _, c := range remainingColors(remaining, v) {
 			if c == 5 {
 				t.Fatalf("node %d offered colour 5, already used by its d2-neighbour 0", v)
 			}
@@ -104,13 +106,82 @@ func TestFinishColoringRespectsPreexistingColors(t *testing.T) {
 	}
 }
 
-func TestNthFromSet(t *testing.T) {
+// remainingColors enumerates v's remaining palette in ascending colour
+// order (test helper over the bitset rows).
+func remainingColors(p *remainingPalettes, v graph.NodeID) []int {
+	if !p.has(v) {
+		return nil
+	}
+	row := p.palette(v)
+	out := make([]int, 0, row.Count())
+	for k := 0; ; k++ {
+		c := row.NthSet(k)
+		if c < 0 {
+			return out
+		}
+		out = append(out, c)
+	}
+}
+
+// nthFromSet is the sorted-map oracle the bitset pick replaced: the i-th
+// smallest element of the set. TestFinishPickMatchesSetOracle pits the
+// bitset row's popcount+NthSet pick against it.
+func nthFromSet(set map[int]struct{}, i int) int {
+	keys := make([]int, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	for a := 1; a < len(keys); a++ {
+		for b := a; b > 0 && keys[b] < keys[b-1]; b-- {
+			keys[b], keys[b-1] = keys[b-1], keys[b]
+		}
+	}
+	if i < 0 || i >= len(keys) {
+		return -1
+	}
+	return keys[i]
+}
+
+func TestNthFromSetOracle(t *testing.T) {
 	set := map[int]struct{}{7: {}, 2: {}, 9: {}}
 	if nthFromSet(set, 0) != 2 || nthFromSet(set, 1) != 7 || nthFromSet(set, 2) != 9 {
 		t.Error("nthFromSet should enumerate in increasing order")
 	}
 	if nthFromSet(set, 3) != -1 || nthFromSet(set, -1) != -1 {
 		t.Error("out-of-range index should return -1")
+	}
+}
+
+// TestFinishPickMatchesSetOracle pits FinishColoring's bitset palette pick
+// (popcount + NthSet) against the sorted-map oracle it replaced, across
+// palette sizes straddling word boundaries and every pick index.
+func TestFinishPickMatchesSetOracle(t *testing.T) {
+	for _, palette := range []int{63, 64, 65, 130} {
+		p := &remainingPalettes{
+			words: make([]uint64, bitset.WordsFor(palette)),
+			w:     bitset.WordsFor(palette),
+			row:   []int32{0},
+		}
+		set := map[int]struct{}{}
+		row := p.palette(0)
+		for c := 0; c < palette; c += 3 {
+			row.Set(c)
+			set[c] = struct{}{}
+		}
+		if got, want := row.Count(), len(set); got != want {
+			t.Fatalf("palette=%d: Count = %d, oracle size %d", palette, got, want)
+		}
+		for k := 0; k <= len(set); k++ {
+			if got, want := row.NthSet(k), nthFromSet(set, k); got != want {
+				t.Fatalf("palette=%d: NthSet(%d) = %d, oracle %d", palette, k, got, want)
+			}
+		}
+		// Claims clear bits exactly like map deletion.
+		row.Clear(3)
+		delete(set, 3)
+		if got, want := row.NthSet(1), nthFromSet(set, 1); got != want {
+			t.Fatalf("palette=%d after clear: NthSet(1) = %d, oracle %d", palette, got, want)
+		}
 	}
 }
 

@@ -265,6 +265,12 @@ func (o Options) jobs() int {
 const (
 	MeasureRounds = "rounds" // Metrics.TotalRounds()
 	MeasureColors = "colors" // Coloring.NumColorsUsed()
+	// MeasureSeconds is the wall-clock duration of the repetition's Run
+	// call. Unlike every other measure it is scheduling-dependent: tables
+	// that print it (the scale experiment E11) are not byte-identical
+	// across runs or Jobs values, so determinism comparisons must exclude
+	// such columns (see harness.Experiment.Volatile).
+	MeasureSeconds = "seconds"
 )
 
 // Run executes the spec's grid. Cells fan out over the worker pool; within a
@@ -356,7 +362,9 @@ func Run(spec Spec, opts Options) (*Grid, error) {
 		}
 
 		for rep := 0; rep < reps; rep++ {
+			repStart := time.Now()
 			res, err := axis.Alg.Run(c.G, eng, spec.Seed+uint64(rep)*stride)
+			repElapsed := time.Since(repStart)
 			if err != nil {
 				errs[idx] = fmt.Errorf("point %d (%s) × %s × %s, rep %d: %w",
 					pi, c.Label, axis.Alg.Name(), engines[ei].Name, rep, err)
@@ -364,6 +372,7 @@ func Run(spec Spec, opts Options) (*Grid, error) {
 			}
 			c.rec.Add(MeasureRounds, float64(res.Metrics.TotalRounds()))
 			c.rec.Add(MeasureColors, float64(res.Coloring.NumColorsUsed()))
+			c.rec.Add(MeasureSeconds, repElapsed.Seconds())
 			if spec.Observe != nil {
 				spec.Observe(rep, &res, &c.rec)
 			}

@@ -38,6 +38,7 @@ import (
 	"slices"
 	"sync/atomic"
 
+	"d2color/internal/bitset"
 	"d2color/internal/coloring"
 	"d2color/internal/congest"
 	"d2color/internal/graph"
@@ -178,13 +179,15 @@ const uncolored int32 = int32(coloring.Uncolored)
 
 // Runner is the reusable allocation-free kernel executing trial phases on a
 // fixed topology. All mutable per-node state lives in flat arrays — indexed
-// by node, or by CSR edge slot for neighbor-color knowledge (the slot range
-// of node v doubles as v's scratch region in the answer round) — and the
-// underlying network, its processes and every buffer are built once in
-// NewRunner. Start rewinds the whole kernel for a new Config in O(n + m)
-// without allocating, so repeated sub-protocol invocations on the same graph
-// (the harness's averaged repetitions, the baselines, randd2's step 2) stop
-// rebuilding n processes and a fresh network each time.
+// by node, by CSR edge slot for neighbor-color knowledge (the slot range of
+// node v doubles as v's scratch region in the answer round), or in per-node
+// palette bitset rows for known-color membership — and the underlying
+// network, its processes and every buffer are built once in NewRunner. Start
+// rewinds the whole kernel for a new Config in O(n + m + n·palette/64),
+// allocating only when the palette outgrows every earlier Start, so repeated
+// sub-protocol invocations on the same graph (the harness's averaged
+// repetitions, the baselines, randd2's step 2) stop rebuilding n processes
+// and a fresh network each time.
 //
 // A Runner is not safe for concurrent use; run one Runner per goroutine.
 type Runner struct {
@@ -206,13 +209,42 @@ type Runner struct {
 	// Per-edge-slot state; the region of node v is ix.Offsets[v] ..
 	// ix.Offsets[v+1]. nbrColor mirrors the seed path's per-node
 	// map[NodeID]int of neighbor colors as a slice indexed by neighbor
-	// position; knownSorted keeps the same colors sorted (first numKnown[v]
-	// entries of the region) so the answer round's "is this color used by a
-	// neighbor" check is a binary search instead of a map walk.
+	// position.
 	nbrColor    []int32
-	knownSorted []int32
-	numKnown    []int32
 	propScratch []int32 // answer-round scratch: the phase's proposal colors, sorted
+
+	// Known-colors state — which colors has a neighbor announced? Two
+	// tiers, selected per Start (deterministically, from topology + palette
+	// alone, so results never depend on the choice):
+	//
+	// The common tier is knownBits: one palette bitset row per node
+	// (knownWords words each, carved out of one flat backing slice); bit c
+	// of row v is set iff some neighbor announced color c. The answer
+	// round's "is this color used by a neighbor" check is one AND, and
+	// pickAvoidingKnown's free-color draw is a popcount plus a word scan.
+	// Colors outside [0, PaletteSize) (possible via Config.Initial) are
+	// never recorded: a candidate is always inside the palette, so such
+	// colors cannot conflict.
+	//
+	// The rows cost n·⌈palette/64⌉ words. On degenerate palette ≫ degree
+	// topologies (a star under a Δ²-sized palette) that is quadratic-plus in
+	// n while a node can only ever learn deg(v) colors — so when the rows
+	// would dwarf the O(n + m) edge-slot budget (see knownTierIsBitset),
+	// Start falls back to the sorted known-colors prefix per CSR slot region
+	// (binary-searched membership, merge-scan draw), which is bounded by the
+	// slot count. Both tiers answer the identical queries; colorings and
+	// Metrics are byte-identical either way.
+	//
+	// Sized in Start, where the palette is first known; a Runner re-Started
+	// with a larger palette grows the backing slices once and reuses them.
+	useBitset   bool
+	knownBits   []uint64
+	knownWords  int
+	knownSorted []int32 // sorted-prefix tier: v's region is ix.Offsets[v]..ix.Offsets[v+1]
+	numKnown    []int32
+	// forceKnownTier pins the tier for the equivalence tests: 0 = select
+	// automatically, >0 = bitset, <0 = sorted prefix.
+	forceKnownTier int
 
 	// live is the number of uncolored nodes — the completion frontier that
 	// replaces the seed path's O(n) per-phase scan over all processes. It is
@@ -261,8 +293,6 @@ func NewRunner(g *graph.Graph, parallel bool, workers int) *Runner {
 		proposal:    make([]int32, n),
 		announced:   make([]bool, n),
 		nbrColor:    make([]int32, slots),
-		knownSorted: make([]int32, slots),
-		numKnown:    make([]int32, n),
 		propScratch: make([]int32, slots),
 	}
 	for v := 0; v < n; v++ {
@@ -274,7 +304,9 @@ func NewRunner(g *graph.Graph, parallel bool, workers int) *Runner {
 
 // Start validates cfg and rewinds the kernel for a new run: network reset to
 // cfg.Seed, every flat array cleared, the live counter recomputed from
-// cfg.Initial. It allocates nothing.
+// cfg.Initial. It allocates only when cfg.PaletteSize exceeds every palette
+// this Runner has started before (the per-node palette bitset rows grow
+// once); re-Starts at or below a seen palette allocate nothing.
 func (r *Runner) Start(cfg Config) error {
 	if cfg.PaletteSize <= 0 {
 		return fmt.Errorf("trial: palette size must be positive, got %d", cfg.PaletteSize)
@@ -295,6 +327,27 @@ func (r *Runner) Start(cfg Config) error {
 	r.net.Reset(cfg.Seed)
 
 	n := r.g.NumNodes()
+	r.knownWords = bitset.WordsFor(cfg.PaletteSize)
+	r.useBitset = knownTierIsBitset(n, r.ix.NumSlots(), r.knownWords)
+	if r.forceKnownTier != 0 {
+		r.useBitset = r.forceKnownTier > 0 // test hook: pin one tier
+	}
+	if r.useBitset {
+		if need := n * r.knownWords; need > cap(r.knownBits) {
+			r.knownBits = make([]uint64, need)
+		} else {
+			r.knownBits = r.knownBits[:need]
+			bitset.Row(r.knownBits).ClearAll()
+		}
+	} else {
+		if r.knownSorted == nil {
+			r.knownSorted = make([]int32, r.ix.NumSlots())
+			r.numKnown = make([]int32, n)
+		} else {
+			clear(r.numKnown)
+		}
+	}
+
 	live := int64(n)
 	for v := 0; v < n; v++ {
 		c := uncolored
@@ -305,13 +358,29 @@ func (r *Runner) Start(cfg Config) error {
 		r.color[v] = c
 		r.proposal[v] = -1
 		r.announced[v] = false // pre-colored nodes announce in the first propose round
-		r.numKnown[v] = 0
 	}
 	for e := range r.nbrColor {
 		r.nbrColor[e] = uncolored
 	}
 	r.live.Store(live)
 	return nil
+}
+
+// knownTierIsBitset selects the known-colors representation for a run: the
+// palette bitset rows unless their n·words footprint would exceed a small
+// multiple of the O(n + slots) flat-array budget every other kernel
+// structure lives in (degenerate palette ≫ degree topologies). The choice
+// is a pure function of topology and palette, so it can never make two runs
+// diverge.
+func knownTierIsBitset(n, slots, words int) bool {
+	return n*words <= 4*(n+slots)
+}
+
+// knownRow returns node v's palette bitset of colors known used by a
+// neighbor (bitset tier only).
+func (r *Runner) knownRow(v graph.NodeID) bitset.Row {
+	base := int(v) * r.knownWords
+	return bitset.Row(r.knownBits[base : base+r.knownWords])
 }
 
 // Phase executes one trial phase (three simulated rounds) and reports
@@ -427,7 +496,9 @@ func (r *Runner) stepPropose(v graph.NodeID, ctx *congest.Context, inbox []conge
 // The inbox arrives sorted by sender (the message plane guarantees it), so
 // the node's slot region is walked with a single merge pointer and each
 // answer is addressed to the sender's out-slot directly — the whole step is
-// O(deg) plus one in-place sort of the phase's proposal colors.
+// O(deg) plus one in-place sort of the phase's proposal colors. The "used by
+// a neighbor" membership test is one AND into the node's palette bitset row
+// (or a binary search into the sorted prefix on the fallback tier).
 func (r *Runner) stepAnswer(v graph.NodeID, ctx *congest.Context, inbox []congest.Message) {
 	r.recordAdoptions(v, inbox)
 	base := r.ix.Offsets[v]
@@ -446,7 +517,6 @@ func (r *Runner) stepAnswer(v graph.NodeID, ctx *congest.Context, inbox []conges
 		}
 		slices.Sort(props)
 	}
-	known := r.knownSorted[base : base+r.numKnown[v]]
 
 	nbr := 0 // merge pointer into v's neighbor list (inbox is sender-sorted)
 	targets := r.ix.Targets[base:r.ix.Offsets[v+1]]
@@ -465,7 +535,7 @@ func (r *Runner) stepAnswer(v graph.NodeID, ctx *congest.Context, inbox []conges
 			// proposers are at distance <= 2 through us.
 			if lo, dup := slices.BinarySearch(props, cand); dup && lo+1 < len(props) && props[lo+1] == cand {
 				conflict = true
-			} else if _, used := slices.BinarySearch(known, cand); used {
+			} else if r.knownContains(v, base, cand) {
 				conflict = true
 			}
 		}
@@ -500,12 +570,38 @@ func (r *Runner) stepAdopt(v graph.NodeID, ctx *congest.Context, inbox []congest
 	r.proposal[v] = -1
 }
 
+// knownContains reports whether color cand is known used by a neighbor of
+// v, on whichever tier the run selected. base is v's slot-region offset.
+func (r *Runner) knownContains(v graph.NodeID, base int32, cand int32) bool {
+	if r.useBitset {
+		return r.knownRow(v).Test(int(cand))
+	}
+	known := r.knownSorted[base : base+r.numKnown[v]]
+	_, used := slices.BinarySearch(known, cand)
+	return used
+}
+
 // pickAvoidingKnown draws a uniform candidate among the palette colors not
 // known to be used by a neighbor; if every color is known used (impossible
-// for a (Δ+1)-sized palette), it falls back to the whole palette. The known
-// colors are read from the node's sorted slot region, so the draw needs no
-// per-call set.
+// for a (Δ+1)-sized palette), it falls back to the whole palette. On the
+// bitset tier the distinct-color count is a popcount and the idx-th free
+// color a word scan (NthZero) — the row stores each color once and only
+// in-palette colors, which is exactly the distinct/in-palette filtering the
+// sorted-region merge of the fallback tier performs; both tiers therefore
+// draw the identical color from the identical random stream.
 func (r *Runner) pickAvoidingKnown(v graph.NodeID, ctx *congest.Context) int {
+	if r.useBitset {
+		known := r.knownRow(v)
+		free := r.cfg.PaletteSize - known.Count()
+		if free <= 0 {
+			return ctx.Rand().Intn(r.cfg.PaletteSize)
+		}
+		idx := ctx.Rand().Intn(free)
+		if c := known.NthZero(idx, r.cfg.PaletteSize); c >= 0 {
+			return c
+		}
+		return ctx.Rand().Intn(r.cfg.PaletteSize)
+	}
 	base := r.ix.Offsets[v]
 	known := r.knownSorted[base : base+r.numKnown[v]]
 	// Count the distinct known colors inside the palette (the region is
@@ -543,8 +639,11 @@ func (r *Runner) pickAvoidingKnown(v graph.NodeID, ctx *congest.Context) int {
 
 // recordAdoptions folds adoption notifications into the node's slot region:
 // nbrColor gets the sender's color at its neighbor position, and the color
-// is inserted into the sorted known-colors prefix. The inbox is sorted by
-// sender, so one merge pointer finds every sender's slot in O(deg) total.
+// is recorded in the known-colors tier — set in the palette bitset row on
+// the common tier (in-palette colors only: out-of-palette colors, possible
+// via Config.Initial, can never match a candidate), or inserted into the
+// sorted prefix on the fallback tier. The inbox is sorted by sender, so one
+// merge pointer finds every sender's slot in O(deg) total.
 func (r *Runner) recordAdoptions(v graph.NodeID, inbox []congest.Message) {
 	base := r.ix.Offsets[v]
 	targets := r.ix.Targets[base:r.ix.Offsets[v+1]]
@@ -562,6 +661,12 @@ func (r *Runner) recordAdoptions(v graph.NodeID, inbox []congest.Message) {
 		}
 		c := int32(DecodeColor(m.Word))
 		r.nbrColor[base+int32(nbr)] = c
+		if r.useBitset {
+			if c >= 0 && c < r.palette {
+				r.knownRow(v).Set(int(c))
+			}
+			continue
+		}
 		// Insert into the sorted known prefix of the region.
 		known := r.knownSorted[base : base+r.numKnown[v]+1]
 		lo, _ := slices.BinarySearch(known[:len(known)-1], c)

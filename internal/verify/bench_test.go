@@ -1,0 +1,120 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+)
+
+// benchGraphAndColoring builds a sparse GNP workload together with a valid
+// greedy d2-coloring of it (the shape every experiment run feeds the
+// verifier).
+func benchGraphAndColoring(n int) (*graph.Graph, coloring.Coloring) {
+	g := graph.GNPWithAverageDegree(n, 8, 17)
+	d2 := graph.NewDist2View(g)
+	c := coloring.New(n)
+	used := map[int]bool{}
+	for v := 0; v < n; v++ {
+		clear(used)
+		d2.ForEachDist2(graph.NodeID(v), func(u graph.NodeID) bool {
+			if c[u] != coloring.Uncolored {
+				used[c[u]] = true
+			}
+			return true
+		})
+		col := 0
+		for used[col] {
+			col++
+		}
+		c[v] = col
+	}
+	return g, c
+}
+
+// BenchmarkVerify measures the full CheckD2 pass (conflict scan + color
+// stats) on a valid coloring — the verifier cost every experiment repetition
+// pays.
+func BenchmarkVerify(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g, c := benchGraphAndColoring(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rep := CheckD2(g, c, 0); !rep.Valid {
+					b.Fatal("valid coloring rejected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyOutOfRange measures CheckD2 on a coloring sprinkled with
+// colors outside the dense table range (the corrupt-coloring slow path): the
+// out-of-range bookkeeping must not churn allocations per neighborhood.
+func BenchmarkVerifyOutOfRange(b *testing.B) {
+	g, c := benchGraphAndColoring(10_000)
+	huge := int(^uint(0)>>1) - 64
+	for v := 0; v < len(c); v += 97 {
+		c[v] = huge + v%13 // far outside any dense table
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := CheckD2(g, c, 0)
+		if rep.Valid {
+			b.Fatal("out-of-palette colors must be flagged by the complete check")
+		}
+	}
+}
+
+// benchWarmedValid is the shared body of the 0-alloc regression gates: a
+// warmed Checker running CheckD2 on a valid coloring (optionally sprinkled
+// with distinct out-of-range colors, exercising the pooled slow list).
+func benchWarmedValid(b *testing.B, outOfRange bool) {
+	g, c := benchGraphAndColoring(10_000)
+	if outOfRange {
+		huge := int(^uint(0)>>1) - len(c)
+		for v := 0; v < len(c); v += 97 {
+			c[v] = huge + v // distinct per node: valid, but far outside the dense range
+		}
+	}
+	ch := NewChecker()
+	if rep := ch.CheckD2(g, c, 0); !rep.Valid {
+		b.Fatal("coloring must be valid")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := ch.CheckD2(g, c, 0); !rep.Valid {
+			b.Fatal("valid coloring rejected")
+		}
+	}
+}
+
+// BenchmarkVerifyWarmed is the warmed-Checker probe; its 0 allocs/op
+// acceptance criterion is enforced by TestVerifyAllocFree.
+func BenchmarkVerifyWarmed(b *testing.B) {
+	b.Run("dense", func(b *testing.B) { benchWarmedValid(b, false) })
+	b.Run("outOfRange", func(b *testing.B) { benchWarmedValid(b, true) })
+}
+
+// TestVerifyAllocFree asserts that a warmed verifier performs zero heap
+// allocations per pass, on purely dense colorings and on colorings routed
+// through the out-of-range slow list alike.
+func TestVerifyAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=10k benchmark probe skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name       string
+		outOfRange bool
+	}{{"dense", false}, {"outOfRange", true}} {
+		res := testing.Benchmark(func(b *testing.B) { benchWarmedValid(b, tc.outOfRange) })
+		if allocs := res.AllocsPerOp(); allocs != 0 {
+			t.Errorf("%s: warmed CheckD2 at n=10k: %d allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

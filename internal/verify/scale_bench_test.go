@@ -1,0 +1,17 @@
+package verify
+
+import "testing"
+
+// BenchmarkVerifyScale1M measures the full CheckD2 pass at the million-node
+// scale of experiment E11 (sparse GNP, greedy-colored). Excluded from the
+// pinned CI set; run manually to reproduce the README scale table.
+func BenchmarkVerifyScale1M(b *testing.B) {
+	g, c := benchGraphAndColoring(1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := CheckD2(g, c, 0); !rep.Valid {
+			b.Fatal("valid coloring rejected")
+		}
+	}
+}

@@ -2,11 +2,20 @@
 // distance-1 and distance-2 validity, completeness and palette bounds. Every
 // test and every experiment run passes its output through these checks, so a
 // bug in an algorithm cannot silently produce an invalid result.
+//
+// The checks run on a pooled Checker whose scratch — a generation-stamped
+// conflict bitset over colors, plus a pooled, cleared-in-place table for colors outside
+// the dense range — is reused across calls, so a warmed verifier performs
+// zero heap allocations per pass (see BenchmarkVerify). The package-level
+// functions draw Checkers from an internal pool; hot callers that verify in
+// a loop can hold their own via NewChecker.
 package verify
 
 import (
 	"fmt"
+	"sync"
 
+	"d2color/internal/bitset"
 	"d2color/internal/coloring"
 	"d2color/internal/graph"
 )
@@ -47,36 +56,116 @@ func (r Report) Error() error {
 // broken coloring does not produce an enormous report.
 const maxViolations = 64
 
+// denseColorLimit bounds the dense conflict bitset: 4M colors is 512 KB of
+// words plus 256 KB of stamps, far above any sane palette. Colors outside
+// [0, denseColorLimit) go through the Checker's slow table.
+const denseColorLimit = 1 << 22
+
+// Checker holds the reusable scratch of the verification passes. A Checker
+// is not safe for concurrent use; the package-level Check functions draw one
+// from an internal pool per call, loops that verify many colorings can hold
+// their own. A warmed Checker allocates nothing per pass on a valid
+// coloring.
+type Checker struct {
+	// seen is the generation-stamped conflict bitset over colors
+	// [0, limit): one Reset per neighborhood, one fused TestAndSet per
+	// colored member. Who previously held a duplicated color is recovered by
+	// re-walking the neighborhood — conflicts are the rare case, so the scan
+	// stays one bit-op per node on valid colorings instead of maintaining a
+	// holder table.
+	seen *bitset.Stamped
+	// slow is the pooled association table for colors outside the dense
+	// range (huge values from an upstream overflow bug, or negative
+	// sentinels other than Uncolored). Unlike the former per-call map it is
+	// allocated once per Checker and reset in place with clear() — the
+	// buckets survive, so a warmed verifier stays allocation-free — and it
+	// keeps O(1) lookups so a mass-corrupt coloring (n distinct huge
+	// colors) degrades linearly, not quadratically.
+	slow map[int]graph.NodeID
+	// colors is the cache-dense int32 copy of the coloring the distance-2
+	// scan reads instead of the []int original: every in-range color fits
+	// (the dense limit is 4M), Uncolored stays -1, and out-of-range colors
+	// become the slowColor marker. The scan's random accesses then touch
+	// half the memory.
+	colors []int32
+	// statsRow is the plain row behind the branch-free distinct-color count
+	// (ColorsUsed = one Set per node + one popcount).
+	statsRow bitset.Row
+}
+
+// slowColor marks, in the int32 scratch, a color outside [0, limit); the
+// actual value is read back from the original coloring on this (corrupt,
+// hence rare) path.
+const slowColor = int32(-2)
+
+// NewChecker returns an empty Checker; its scratch grows on first use and is
+// reused afterwards.
+func NewChecker() *Checker {
+	return &Checker{seen: bitset.NewStamped(0), slow: make(map[int]graph.NodeID)}
+}
+
+// resetSlow empties the out-of-range table in place (bucket-preserving).
+func (ch *Checker) resetSlow() {
+	if len(ch.slow) > 0 {
+		clear(ch.slow)
+	}
+}
+
+var checkerPool = sync.Pool{New: func() any { return NewChecker() }}
+
 // CheckD2 verifies that c is a complete, valid distance-2 coloring of g with
 // all colors inside [0, paletteSize). Pass paletteSize <= 0 to skip the
 // palette bound check.
 func CheckD2(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
-	return check(g, c, paletteSize, true)
+	ch := checkerPool.Get().(*Checker)
+	defer checkerPool.Put(ch)
+	return ch.CheckD2(g, c, paletteSize)
 }
 
 // CheckD1 verifies that c is a complete, valid (distance-1) vertex coloring
 // of g with all colors inside [0, paletteSize). Pass paletteSize <= 0 to skip
 // the palette bound check.
 func CheckD1(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
-	return check(g, c, paletteSize, false)
+	ch := checkerPool.Get().(*Checker)
+	defer checkerPool.Put(ch)
+	return ch.CheckD1(g, c, paletteSize)
 }
 
 // CheckPartialD2 verifies that the colored subset of c has no distance-2
 // conflicts (uncolored nodes are allowed). This is the invariant maintained
 // at every intermediate step of every algorithm.
 func CheckPartialD2(g *graph.Graph, c coloring.Coloring) Report {
+	ch := checkerPool.Get().(*Checker)
+	defer checkerPool.Put(ch)
+	return ch.CheckPartialD2(g, c)
+}
+
+// CheckD2 is the Checker-scoped form of the package-level CheckD2.
+func (ch *Checker) CheckD2(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
+	return ch.check(g, c, paletteSize, true)
+}
+
+// CheckD1 is the Checker-scoped form of the package-level CheckD1.
+func (ch *Checker) CheckD1(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
+	return ch.check(g, c, paletteSize, false)
+}
+
+// CheckPartialD2 is the Checker-scoped form of the package-level
+// CheckPartialD2.
+func (ch *Checker) CheckPartialD2(g *graph.Graph, c coloring.Coloring) Report {
 	rep := Report{Valid: true}
 	if len(c) != g.NumNodes() {
 		rep.addViolation(Violation{Kind: "palette", U: -1, V: -1,
 			Info: fmt.Sprintf("coloring has %d entries for %d nodes", len(c), g.NumNodes())})
 		return rep
 	}
-	checkConflicts(g, c, true, &rep)
-	fillColorStats(c, &rep)
+	limit, maxColor := ch.prepare(c)
+	ch.checkConflicts(g, c, limit, true, &rep)
+	ch.fillColorStats(c, limit, maxColor, &rep)
 	return rep
 }
 
-func check(g *graph.Graph, c coloring.Coloring, paletteSize int, dist2 bool) Report {
+func (ch *Checker) check(g *graph.Graph, c coloring.Coloring, paletteSize int, dist2 bool) Report {
 	rep := Report{Valid: true}
 	if len(c) != g.NumNodes() {
 		rep.addViolation(Violation{Kind: "palette", U: -1, V: -1,
@@ -94,102 +183,159 @@ func check(g *graph.Graph, c coloring.Coloring, paletteSize int, dist2 bool) Rep
 				Info: fmt.Sprintf("color %d outside palette [0,%d)", col, paletteSize)})
 		}
 	}
-	checkConflicts(g, c, dist2, &rep)
-	fillColorStats(c, &rep)
+	limit, maxColor := ch.prepare(c)
+	ch.checkConflicts(g, c, limit, dist2, &rep)
+	ch.fillColorStats(c, limit, maxColor, &rep)
 	return rep
 }
 
-// checkConflicts finds colored node pairs at distance 1 (and, if dist2, also
-// distance 2) sharing a color.
-func checkConflicts(g *graph.Graph, c coloring.Coloring, dist2 bool, rep *Report) {
-	if !dist2 {
-		for u := 0; u < g.NumNodes(); u++ {
-			cu := c[u]
-			if cu == coloring.Uncolored {
-				continue
-			}
-			for _, v := range g.Neighbors(graph.NodeID(u)) {
-				if int(v) > u && c[v] == cu {
-					rep.addViolation(Violation{Kind: "conflict-d1", U: graph.NodeID(u), V: v,
-						Info: fmt.Sprintf("both have color %d", cu)})
-				}
-			}
-		}
-		return
+// prepare sizes the conflict bitset for c's color range and rebuilds the
+// int32 color scratch, shared by the conflict scan and the color stats. One
+// fused pass: any color in [0, denseColorLimit) is below the final limit
+// (limit = min(maxColor+1, denseColorLimit) and the color is ≤ maxColor), so
+// the conversion can use the fixed cap while the same loop finds maxColor.
+func (ch *Checker) prepare(c coloring.Coloring) (limit, maxColor int) {
+	if cap(ch.colors) < len(c) {
+		ch.colors = make([]int32, len(c))
+	} else {
+		ch.colors = ch.colors[:len(c)]
 	}
-	// A d2-coloring is equivalent to: for every node w, all colored nodes in
-	// {w} ∪ N(w) have distinct colors. Checking that form costs O(Σ deg²)
-	// CSR walks and — with the generation-stamped color table below — zero
-	// allocations per node, rather than materializing G².
-	//
-	// The dense table covers the well-formed color range [0, limit); colors
-	// outside it (huge values from an upstream overflow bug, or negative
-	// sentinels other than Uncolored) go through a small per-neighborhood map
-	// so that a corrupt coloring still yields a Report instead of an OOM —
-	// and so conflicts between out-of-range colors are still detected (the
-	// partial check has no palette bound to catch them otherwise).
-	maxColor := -1
-	for _, col := range c {
+	maxColor = -1
+	for i, col := range c {
 		if col > maxColor {
 			maxColor = col
 		}
+		switch {
+		case col == coloring.Uncolored:
+			ch.colors[i] = -1
+		case col >= 0 && col < denseColorLimit:
+			ch.colors[i] = int32(col)
+		default:
+			ch.colors[i] = slowColor
+		}
 	}
-	const denseColorLimit = 1 << 22 // 4M colors ≈ 48 MB of table, far above any sane palette
-	limit := 0
 	if maxColor >= 0 {
 		limit = denseColorLimit
 		if maxColor < denseColorLimit {
 			limit = maxColor + 1
 		}
 	}
-	seenGen := make([]uint32, limit) // generation stamp per color
-	seenBy := make([]graph.NodeID, limit)
-	gen := uint32(0)
-	var slow map[int]graph.NodeID // colors outside [0, limit), reset per neighborhood
-	for w := 0; w < g.NumNodes(); w++ {
-		gen++
-		if len(slow) > 0 {
-			clear(slow)
-		}
-		consider := func(x graph.NodeID) {
-			cx := c[x]
-			if cx == coloring.Uncolored {
-				return
+	ch.seen.Grow(limit)
+	return limit, maxColor
+}
+
+// slowSeen records color cx held by x in the out-of-range table and returns
+// the previous holder, if any — the pooled slow path shared by the conflict
+// scan and the color stats.
+func (ch *Checker) slowSeen(cx int, x graph.NodeID) (graph.NodeID, bool) {
+	if prev, ok := ch.slow[cx]; ok {
+		return prev, true
+	}
+	ch.slow[cx] = x
+	return 0, false
+}
+
+// checkConflicts finds colored node pairs at distance 1 (and, if dist2, also
+// distance 2) sharing a color. prepare must have run for this coloring: the
+// scan reads the cache-dense int32 scratch instead of the []int original.
+func (ch *Checker) checkConflicts(g *graph.Graph, c coloring.Coloring, limit int, dist2 bool, rep *Report) {
+	colors := ch.colors
+	if !dist2 {
+		for u := 0; u < g.NumNodes(); u++ {
+			cu := colors[u]
+			if cu == -1 {
+				continue
 			}
-			if cx >= 0 && cx < limit {
-				if seenGen[cx] == gen {
-					if prev := seenBy[cx]; prev != x {
-						rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
-							Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", cx, w)})
-					}
-					return
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				// Two slow markers only match when the real colors do.
+				if int(v) > u && colors[v] == cu && (cu != slowColor || c[v] == c[u]) {
+					rep.addViolation(Violation{Kind: "conflict-d1", U: graph.NodeID(u), V: v,
+						Info: fmt.Sprintf("both have color %d", c[u])})
 				}
-				seenGen[cx] = gen
-				seenBy[cx] = x
-				return
 			}
-			if slow == nil {
-				slow = make(map[int]graph.NodeID, 4)
+		}
+		return
+	}
+	// A d2-coloring is equivalent to: for every node w, all colored nodes in
+	// {w} ∪ N(w) have distinct colors. Checking that form costs O(n + m)
+	// CSR walks and — with the generation-stamped conflict bitset — zero
+	// allocations per node, rather than materializing G². w itself is
+	// considered first (it seeds the fresh bitset, never a duplicate), then
+	// its neighbors in CSR order — the walk order that defines which holder
+	// a violation names.
+	for w := 0; w < g.NumNodes(); w++ {
+		ch.seen.Reset()
+		ch.resetSlow()
+		nbrs := g.Neighbors(graph.NodeID(w))
+		if cw := colors[w]; cw >= 0 {
+			ch.seen.Set(int(cw))
+		} else if cw == slowColor {
+			ch.slowSeen(c[w], graph.NodeID(w))
+		}
+		for i, x := range nbrs {
+			cx := colors[x]
+			if cx == -1 {
+				continue
 			}
-			if prev, ok := slow[cx]; ok {
+			if cx >= 0 {
+				if ch.seen.TestAndSet(int(cx)) {
+					// Duplicate: recover the first holder by re-walking the
+					// prefix (conflicts are the rare case; the holder is the
+					// first matching node in walk order, exactly what the
+					// former seenBy table stored).
+					if prev, ok := ch.firstHolder(graph.NodeID(w), nbrs[:i], cx); ok && prev != x {
+						rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
+							Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", c[x], w)})
+					}
+				}
+				continue
+			}
+			if prev, dup := ch.slowSeen(c[x], x); dup {
 				if prev != x {
 					rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
-						Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", cx, w)})
+						Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", c[x], w)})
 				}
-				return
 			}
-			slow[cx] = x
-		}
-		consider(graph.NodeID(w))
-		for _, v := range g.Neighbors(graph.NodeID(w)) {
-			consider(v)
 		}
 	}
 }
 
-func fillColorStats(c coloring.Coloring, rep *Report) {
-	rep.ColorsUsed = c.NumColorsUsed()
-	rep.MaxColor = c.MaxColor()
+// firstHolder returns the first node in neighborhood walk order (w, then the
+// given neighbor prefix) whose dense scratch color is cx.
+func (ch *Checker) firstHolder(w graph.NodeID, prefix []graph.NodeID, cx int32) (graph.NodeID, bool) {
+	if ch.colors[w] == cx {
+		return w, true
+	}
+	for _, v := range prefix {
+		if ch.colors[v] == cx {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// fillColorStats computes ColorsUsed and MaxColor with a branch-free mark
+// pass over a plain bitset row plus one popcount, instead of a per-call map;
+// negative sentinels other than Uncolored count as distinct colors, matching
+// Coloring.NumColorsUsed. prepare must have run for this coloring.
+func (ch *Checker) fillColorStats(c coloring.Coloring, limit, maxColor int, rep *Report) {
+	rep.MaxColor = maxColor
+	words := bitset.WordsFor(limit)
+	if cap(ch.statsRow) < words {
+		ch.statsRow = make(bitset.Row, words)
+	} else {
+		ch.statsRow = ch.statsRow[:words]
+		ch.statsRow.ClearAll()
+	}
+	ch.resetSlow()
+	for i, col := range ch.colors {
+		if col >= 0 {
+			ch.statsRow.Set(int(col))
+		} else if col == slowColor {
+			ch.slowSeen(c[i], 0)
+		}
+	}
+	rep.ColorsUsed = ch.statsRow.Count() + len(ch.slow)
 }
 
 func (r *Report) addViolation(v Violation) {
