@@ -8,7 +8,7 @@
 //
 // Run from the repository root:
 //
-//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_5.json
+//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_6.json
 //	go run ./cmd/bench -benchtime 5x        # steadier numbers
 //	go run ./cmd/bench -out snapshots/B.json
 package main
@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,9 +50,13 @@ type measurement struct {
 	AllocsPerOp float64 `json:"allocsPerOp"`
 }
 
-// snapshot is the file layout of BENCH_<pr>.json.
+// snapshot is the file layout of BENCH_<pr>.json. Cores records the
+// machine's CPU count: the sharded-engine benchmarks embed their worker
+// count in the benchmark name, and a snapshot from a 1-core runner is not
+// comparable to one from an 8-core runner for those entries.
 type snapshot struct {
 	Benchtime  string                 `json:"benchtime"`
+	Cores      int                    `json:"cores"`
 	Benchmarks map[string]measurement `json:"benchmarks"`
 }
 
@@ -65,14 +70,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "BENCH_5.json", "snapshot file to write")
+		out       = fs.String("out", "BENCH_6.json", "snapshot file to write")
 		benchtime = fs.String("benchtime", "1x", "-benchtime passed to go test (1x = smoke, 5x+ = steadier)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	snap := snapshot{Benchtime: *benchtime, Benchmarks: map[string]measurement{}}
+	snap := snapshot{Benchtime: *benchtime, Cores: runtime.NumCPU(), Benchmarks: map[string]measurement{}}
 	for _, entry := range pinnedSet {
 		fmt.Fprintf(stdout, "== %s -bench %s\n", entry.pkg, entry.bench)
 		cmd := exec.Command("go", "test", entry.pkg, "-run", "^$",
@@ -154,8 +159,9 @@ func orderedSnapshot(s snapshot) any {
 	}
 	out := struct {
 		Benchtime  string             `json:"benchtime"`
+		Cores      int                `json:"cores"`
 		Benchmarks []namedMeasurement `json:"benchmarks"`
-	}{Benchtime: s.Benchtime}
+	}{Benchtime: s.Benchtime, Cores: s.Cores}
 	for _, name := range names {
 		out.Benchmarks = append(out.Benchmarks, namedMeasurement{Name: name, measurement: s.Benchmarks[name]})
 	}

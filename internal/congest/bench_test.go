@@ -2,6 +2,7 @@ package congest
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"d2color/internal/graph"
@@ -13,34 +14,78 @@ func benchGraph() *graph.Graph {
 	return graph.GNPWithAverageDegree(10_000, 12, 42)
 }
 
-// BenchmarkDeliver measures one full simulator round (step + delivery) of an
-// all-neighbours broadcast on a 10k-node random graph. The broadcast
-// saturates every directed edge with one message per round, which makes the
-// benchmark a direct probe of the message plane's per-round overhead: inbox
-// assembly, bandwidth accounting and context management.
-func BenchmarkDeliver(b *testing.B) {
-	for _, parallel := range []bool{false, true} {
-		name := "engine=sequential"
-		if parallel {
-			name = "engine=sharded"
+// skewGraphN is the star-heavy stress topology for the edge-balanced shard
+// plan: a ring over all n nodes (so no node is isolated) plus `hubs` hub
+// nodes at the front of the ID space, each wired to ~spokes pseudo-random
+// non-hub targets. The hubs concentrate most of the graph's edge slots on a
+// tiny prefix of the node range — contiguous equal-node chunking hands that
+// prefix to one shard, edge-balanced ownership splits it.
+func skewGraphN(n, hubs, spokes int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n+hubs*spokes)
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{U: graph.NodeID(v), V: graph.NodeID((v + 1) % n)})
+	}
+	x := uint64(0x9E3779B97F4A7C15) // deterministic xorshift, no rng dependency
+	for h := 0; h < hubs; h++ {
+		for i := 0; i < spokes; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			t := hubs + int(x%uint64(n-hubs)) // always a non-hub: no self-loops
+			edges = append(edges, graph.Edge{U: graph.NodeID(h), V: graph.NodeID(t)})
 		}
-		b.Run(name, func(b *testing.B) {
-			g := benchGraph()
-			net := New(g, Config{Seed: 1, Parallel: parallel})
+	}
+	return graph.MustFromEdges(n, edges) // duplicates collapse in the builder
+}
+
+// skewGraph is the benchmark-scale instance: 10k nodes, 16 hubs × ~600
+// spokes, so roughly half of all edge slots belong to 0.16% of the nodes.
+func skewGraph() *graph.Graph {
+	return skewGraphN(10_000, 16, 600)
+}
+
+// BenchmarkDeliver measures one full simulator round (step + delivery) of an
+// all-neighbours broadcast: a direct probe of the engines' per-round
+// overhead — inbox assembly, bandwidth accounting, context management, and
+// (sharded) the worker team's wake/barrier/wait cycle. Two topologies: the
+// uniform 10k-node random graph, and the star-heavy skew graph that punishes
+// node-count chunking (the per-worker load only balances if shard ownership
+// follows edge slots). The sharded variants record the worker count in the
+// benchmark name so BENCH_*.json snapshots from differently-sized runners
+// stay interpretable.
+func BenchmarkDeliver(b *testing.B) {
+	topos := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"gnp", benchGraph},
+		{"skew", skewGraph},
+	}
+	for _, topo := range topos {
+		g := topo.build()
+		run := func(b *testing.B, cfg Config) {
+			net := New(g, cfg)
+			defer net.Close()
 			net.SetProcesses(func(v graph.NodeID) Process {
 				return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
 					ctx.Broadcast(1, uint64(round&1))
 					return false
 				})
 			})
-			// Warm one round so one-time buffer growth is outside the
-			// measured loop.
+			// Warm one round so one-time buffer growth (and the team spawn)
+			// is outside the measured loop.
 			net.RunRounds(1)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				net.RunRounds(1)
 			}
+		}
+		b.Run(fmt.Sprintf("topo=%s/engine=sequential", topo.name), func(b *testing.B) {
+			run(b, Config{Seed: 1})
+		})
+		b.Run(fmt.Sprintf("topo=%s/engine=sharded/workers=%d", topo.name, runtime.GOMAXPROCS(0)), func(b *testing.B) {
+			run(b, Config{Seed: 1, Parallel: true})
 		})
 	}
 }

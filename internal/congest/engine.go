@@ -2,7 +2,6 @@ package congest
 
 import (
 	"runtime"
-	"sync"
 
 	"d2color/internal/graph"
 )
@@ -43,9 +42,16 @@ type Engine interface {
 	AllHalted() bool
 	// Reset rewinds the engine to round 0 with per-node randomness re-seeded
 	// from seed, keeping the installed processes, the ID assignment and every
-	// pooled buffer. A reset engine is byte-identical to a freshly
-	// constructed one with the same topology, processes and seed.
+	// pooled buffer — on the sharded engine that includes the worker team and
+	// the shard plan, which survive any number of Resets. A reset engine is
+	// byte-identical to a freshly constructed one with the same topology,
+	// processes and seed.
 	Reset(seed uint64)
+	// Close releases engine resources; for the sharded engine it parks the
+	// persistent worker team (idempotent, never blocks on a pending round —
+	// see shardTeam.stop). A closed engine must not be stepped again;
+	// everything else (Metrics, ID, Graph, ...) stays readable.
+	Close()
 }
 
 // New creates a simulation over the given topology, selecting the engine
@@ -94,17 +100,29 @@ func (e *sequentialEngine) step() {
 	c.finishRound()
 }
 
-// shardedEngine runs the compute phase and the delivery phase on a pool of
-// goroutines, sharded by node. Determinism relies on ownership: a node's
-// step writes only its own state and its own out-slots of the message plane,
-// and delivery for a destination reads the plane (frozen after compute) and
-// writes only that destination's inbox. Shard-local bandwidth metrics are
-// merged in shard order, and all merges are commutative (sums and maxima),
-// so the result is byte-identical to the sequential engine.
+// shardedEngine runs the compute phase and the delivery phase on a
+// persistent team of workers (see shardTeam in pool.go): the goroutines are
+// created once, parked on an epoch gate between rounds, and each round is
+// one fused compute+deliver pipeline with a single barrier between the
+// phases. Node ownership follows the edge-balanced shardPlan; a worker that
+// drains its own chunks steals unclaimed chunks from the slowest shards
+// through their atomic cursors.
+//
+// Determinism relies on ownership and commutativity, not scheduling: a
+// node's step writes only its own state and its own out-slots of the message
+// plane, delivery for a destination reads the plane (frozen at the barrier)
+// and writes only that destination's inbox, and every chunk is claimed by
+// exactly one worker per phase (one atomic cursor claim). The per-worker
+// delivery metrics merge by integer sum and maximum — order-independent and
+// exact — and the compute-side send counters are folded by the publisher in
+// node order, so the result is byte-identical to the sequential engine for
+// every worker count and every steal schedule.
 type shardedEngine struct {
 	engineCore
-	workers      int
-	shardMetrics []Metrics
+	workers int
+	plan    shardPlan
+	ws      []shardWorker
+	team    *shardTeam // nil when workers == 1 (phases run inline)
 }
 
 func newSharded(g *graph.Graph, cfg Config) *shardedEngine {
@@ -115,13 +133,17 @@ func newSharded(g *graph.Graph, cfg Config) *shardedEngine {
 	if workers < 1 {
 		workers = 1
 	}
-	if n := g.NumNodes(); workers > n && n > 0 {
-		workers = n
+	if n := g.NumNodes(); workers > n {
+		workers = max(n, 1)
 	}
 	e := &shardedEngine{
-		engineCore:   newEngineCore(g, cfg),
-		workers:      workers,
-		shardMetrics: make([]Metrics, workers),
+		engineCore: newEngineCore(g, cfg),
+		workers:    workers,
+	}
+	e.plan = buildShardPlan(e.ix, g.NumNodes(), workers)
+	e.ws = make([]shardWorker, workers)
+	if workers > 1 {
+		e.team = newShardTeam(e)
 	}
 	e.initContexts()
 	return e
@@ -137,55 +159,105 @@ func (e *shardedEngine) RunRounds(k int) {
 	}
 }
 
-// forEachShard invokes f(w, lo, hi) concurrently over contiguous node ranges
-// and waits for all shards to finish.
-func (e *shardedEngine) forEachShard(f func(w, lo, hi int)) {
-	n := e.g.NumNodes()
-	chunk := (n + e.workers - 1) / e.workers
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			f(w, lo, hi)
-		}(w, lo, hi)
+// Close parks the worker team permanently. Idempotent; the engine must not
+// be stepped afterwards.
+func (e *shardedEngine) Close() {
+	if e.team != nil {
+		e.team.stop()
 	}
-	wg.Wait()
 }
 
-// step executes one synchronous round with both phases sharded by node.
+// step executes one synchronous round. The publisher (this goroutine) resets
+// the per-worker cursors and metrics, wakes the team, works as rank 0
+// through the fused compute+deliver pipeline, and merges the shard metrics
+// once every rank is done. Reset never touches the team or the plan, so a
+// reused engine keeps its goroutines and its ownership map.
 func (e *shardedEngine) step() {
 	c := &e.engineCore
-
-	// Compute phase: nodes step concurrently; each writes only its own
-	// halted flag, context counters and out-slots.
-	e.forEachShard(func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if c.procs[v] == nil || c.halted[v] {
-				continue
-			}
-			c.halted[v] = c.procs[v].Step(&c.ctxs[v], c.round, c.inboxes[v])
-		}
-	})
+	if e.team == nil {
+		// Single-worker degenerate case: the same pipeline inline, with no
+		// gate to cross.
+		e.computeChunk(0, int32(c.g.NumNodes()))
+		c.collectSendCounters()
+		c.deliverRange(0, c.g.NumNodes(), &c.metrics)
+		c.finishRound()
+		return
+	}
+	for w := range e.ws {
+		ws := &e.ws[w]
+		ws.metrics = Metrics{}
+		ws.computeNext.Store(e.plan.firstChunk[w])
+		ws.deliverNext.Store(e.plan.firstChunk[w])
+	}
+	e.team.publish() // compute ∥ … barrier … deliver ∥ …
 	c.collectSendCounters()
-
-	// Delivery phase: sharded by destination node. The plane is read-only
-	// now, and shard w writes only inboxes[lo:hi) and shardMetrics[w].
-	e.forEachShard(func(w, lo, hi int) {
-		e.shardMetrics[w] = Metrics{}
-		c.deliverRange(lo, hi, &e.shardMetrics[w])
-	})
-	for w := range e.shardMetrics {
-		sm := &e.shardMetrics[w]
+	for w := range e.ws {
+		sm := &e.ws[w].metrics
 		if sm.MaxEdgeWordsPerRound > c.metrics.MaxEdgeWordsPerRound {
 			c.metrics.MaxEdgeWordsPerRound = sm.MaxEdgeWordsPerRound
 		}
 		c.metrics.BandwidthViolations += sm.BandwidthViolations
 	}
 	c.finishRound()
+}
+
+// collectSendCounters runs after delivery here rather than between the
+// phases (the sequential engine's order): the counters are only written by
+// node steps and only read by the fold, and they land in Metrics fields
+// disjoint from the delivery-phase ones, so folding them after the fused
+// round is byte-identical.
+
+// computePhase steps the nodes of every chunk rank w claims: its own chunks
+// first, then — work-stealing tail — whatever chunks the other shards have
+// not claimed yet, scanning victims round-robin from its right neighbor.
+// Claiming via the victim's own cursor keeps "exactly one executor per
+// chunk" a single atomic invariant.
+func (e *shardedEngine) computePhase(w int) {
+	for off := 0; off < e.workers; off++ {
+		v := w + off
+		if v >= e.workers {
+			v -= e.workers
+		}
+		vw, end := &e.ws[v], e.plan.firstChunk[v+1]
+		for {
+			chunk := vw.computeNext.Add(1) - 1
+			if chunk >= end {
+				break
+			}
+			e.computeChunk(e.plan.chunkLo[chunk], e.plan.chunkLo[chunk+1])
+		}
+	}
+}
+
+func (e *shardedEngine) computeChunk(lo, hi int32) {
+	c := &e.engineCore
+	for v := lo; v < hi; v++ {
+		if c.procs[v] == nil || c.halted[v] {
+			continue
+		}
+		c.halted[v] = c.procs[v].Step(&c.ctxs[v], c.round, c.inboxes[v])
+	}
+}
+
+// deliverPhase assembles inboxes for every chunk rank w claims, with the
+// same owned-then-steal walk as computePhase. Stolen chunks account into the
+// thief's metrics — sums and maxima make the merge independent of who
+// delivered what.
+func (e *shardedEngine) deliverPhase(w int) {
+	c := &e.engineCore
+	m := &e.ws[w].metrics
+	for off := 0; off < e.workers; off++ {
+		v := w + off
+		if v >= e.workers {
+			v -= e.workers
+		}
+		vw, end := &e.ws[v], e.plan.firstChunk[v+1]
+		for {
+			chunk := vw.deliverNext.Add(1) - 1
+			if chunk >= end {
+				break
+			}
+			c.deliverRange(int(e.plan.chunkLo[chunk]), int(e.plan.chunkLo[chunk+1]), m)
+		}
+	}
 }

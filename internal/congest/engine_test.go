@@ -1,0 +1,248 @@
+package congest
+
+import (
+	"runtime"
+	"testing"
+
+	"d2color/internal/graph"
+)
+
+// digestProcess folds every delivered message into an order-sensitive
+// per-node digest and gossips pseudo-random words, exercising Send (slot
+// lookup), SendToNeighbor and Broadcast. Two engines agree byte-for-byte iff
+// all digests and Metrics agree.
+type digestProcess struct {
+	digest uint64
+	rounds int
+}
+
+func (p *digestProcess) Step(ctx *Context, round int, inbox []Message) bool {
+	for i := range inbox {
+		m := &inbox[i]
+		p.digest = p.digest*1099511628211 ^ uint64(m.From)<<32 ^ uint64(round) ^ m.Word
+	}
+	if d := ctx.Degree(); d > 0 {
+		switch round % 3 {
+		case 0:
+			ctx.Broadcast(kindTestData, p.digest|1)
+		case 1:
+			ctx.SendToNeighbor(int(ctx.Rand().Uint64()%uint64(d)), kindTestData, p.digest)
+		case 2:
+			to := ctx.Neighbors()[ctx.Rand().Uint64()%uint64(d)]
+			_ = ctx.SendWords(to, kindTestData, p.digest, 3)
+		}
+	}
+	return round >= p.rounds
+}
+
+func runDigest(t *testing.T, g *graph.Graph, cfg Config, rounds int) ([]uint64, Metrics) {
+	t.Helper()
+	net := New(g, cfg)
+	defer net.Close()
+	procs := make([]*digestProcess, g.NumNodes())
+	net.SetProcesses(func(v graph.NodeID) Process {
+		procs[v] = &digestProcess{rounds: rounds}
+		return procs[v]
+	})
+	if _, err := net.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := make([]uint64, len(procs))
+	for v := range procs {
+		out[v] = procs[v].digest
+	}
+	return out, net.Metrics()
+}
+
+// TestShardedMatchesSequentialSkewWorkers pins the pooled engine's
+// byte-identity to the sequential engine on the star-heavy topology — the
+// workload the edge-balanced shard plan and the work-stealing tail exist
+// for — across worker counts that exercise the degenerate inline path (1),
+// an uneven chunk split (3) and more workers than chunks would naturally
+// balance (16).
+func TestShardedMatchesSequentialSkewWorkers(t *testing.T) {
+	g := skewGraphN(600, 4, 40)
+	const rounds = 7
+	wantDigest, wantMetrics := runDigest(t, g, Config{Seed: 11, BandwidthWords: 2}, rounds)
+	for _, workers := range []int{1, 2, 3, 16} {
+		digest, metrics := runDigest(t, g,
+			Config{Seed: 11, BandwidthWords: 2, Parallel: true, Workers: workers}, rounds)
+		if metrics != wantMetrics {
+			t.Fatalf("workers=%d: metrics diverged\nsharded:    %v\nsequential: %v", workers, metrics, wantMetrics)
+		}
+		for v := range digest {
+			if digest[v] != wantDigest[v] {
+				t.Fatalf("workers=%d node %d: digest %x != sequential %x", workers, v, digest[v], wantDigest[v])
+			}
+		}
+	}
+}
+
+// TestShardedStepAllocFree is the pooled-engine allocation gate: after
+// warm-up, a sharded broadcast round must not touch the allocator at all —
+// the persistent team replaced the 2×workers goroutine spawns (8 allocs,
+// 216 B per round at GOMAXPROCS=4) the per-round pool design paid.
+func TestShardedStepAllocFree(t *testing.T) {
+	g := graph.GNP(300, 0.05, 1)
+	net := New(g, Config{Seed: 1, Parallel: true, Workers: 4})
+	defer net.Close()
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			ctx.Broadcast(kindTestData, uint64(round&1))
+			return false
+		})
+	})
+	net.RunRounds(2) // warm-up: spawn the team, grow buckets and inboxes
+	allocs := testing.AllocsPerRun(10, func() { net.RunRounds(1) })
+	if allocs > 0 {
+		t.Errorf("warmed-up sharded round allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestShardedResetReusesTeam asserts Engine.Reset re-seeds in place: no new
+// goroutines (the worker team survives), no allocation, and byte-identical
+// results from the reused pooled engine — the reuse contract the sweep
+// repetitions and the server-to-come lean on.
+func TestShardedResetReusesTeam(t *testing.T) {
+	g := graph.GNP(200, 0.06, 3)
+	net := New(g, Config{Seed: 5, Parallel: true, Workers: 4})
+	defer net.Close()
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			ctx.Broadcast(kindTestData, ctx.Rand().Uint64())
+			return false
+		})
+	})
+	net.RunRounds(3)
+	before := runtime.NumGoroutine()
+	first := net.Metrics()
+	net.Reset(5)
+	net.RunRounds(3)
+	if again := net.Metrics(); again != first {
+		t.Fatalf("reset run diverged: %v vs %v", again, first)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew across Reset: %d -> %d (team must be reused)", before, after)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		net.Reset(5)
+		net.RunRounds(3)
+	})
+	if allocs > 0 {
+		t.Errorf("warmed reset+rounds allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestCloseSemantics: Close is idempotent on both engines, never hangs, and
+// a closed sharded engine fails loudly (panic) rather than deadlocking if
+// stepped again; read-only accessors stay usable.
+func TestCloseSemantics(t *testing.T) {
+	g := graph.GNP(50, 0.1, 2)
+	install := func(net Engine) {
+		net.SetProcesses(func(v graph.NodeID) Process {
+			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+				ctx.Broadcast(kindTestData, 1)
+				return false
+			})
+		})
+	}
+	for _, parallel := range []bool{false, true} {
+		net := New(g, Config{Seed: 1, Parallel: parallel, Workers: 4})
+		install(net)
+		net.RunRounds(2)
+		rounds := net.Round()
+		net.Close()
+		net.Close() // idempotent
+		if net.Round() != rounds || net.Metrics().Rounds != rounds {
+			t.Errorf("parallel=%v: accessors unusable after Close", parallel)
+		}
+	}
+
+	// Closing before the team ever ran (lazy spawn) must also be safe.
+	never := New(g, Config{Parallel: true, Workers: 4})
+	never.Close()
+
+	closed := New(g, Config{Parallel: true, Workers: 4})
+	install(closed)
+	closed.RunRounds(1)
+	closed.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("stepping a closed sharded engine should panic, not hang")
+		}
+	}()
+	closed.RunRounds(1)
+}
+
+// TestShardPlanEdgeBalanced checks the ownership map directly: the chunks
+// partition the node range, every worker owns a non-degenerate run, and on
+// the star-heavy topology the per-worker edge-slot weights are far closer to
+// uniform than contiguous equal-node chunking would put them.
+func TestShardPlanEdgeBalanced(t *testing.T) {
+	g := skewGraphN(2000, 8, 400)
+	ix := g.EdgeIndex()
+	n, workers := g.NumNodes(), 8
+	plan := buildShardPlan(ix, n, workers)
+
+	if got := plan.chunkLo[0]; got != 0 {
+		t.Fatalf("first chunk starts at %d, want 0", got)
+	}
+	if got := plan.chunkLo[plan.numChunks()]; got != int32(n) {
+		t.Fatalf("last chunk ends at %d, want %d", got, n)
+	}
+	for c := 0; c < plan.numChunks(); c++ {
+		if plan.chunkLo[c] > plan.chunkLo[c+1] {
+			t.Fatalf("chunk %d range inverted: [%d, %d)", c, plan.chunkLo[c], plan.chunkLo[c+1])
+		}
+	}
+
+	slots := func(lo, hi int32) int { return int(ix.Offsets[hi] - ix.Offsets[lo]) }
+	fair := float64(ix.NumSlots()) / float64(workers)
+	worstPlan, worstNaive := 0.0, 0.0
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := plan.nodeRange(w)
+		if over := float64(slots(lo, hi)) / fair; over > worstPlan {
+			worstPlan = over
+		}
+		nlo := min(w*chunk, n)
+		nhi := min(nlo+chunk, n)
+		if over := float64(slots(int32(nlo), int32(nhi))) / fair; over > worstNaive {
+			worstNaive = over
+		}
+	}
+	// The 64 hubs sit in the first equal-node chunk, so naive chunking
+	// overloads one shard with most of the graph's slots; the edge-balanced
+	// plan must stay near fair (one chunk of slack) and beat it decisively.
+	if worstPlan > 1.5 {
+		t.Errorf("edge-balanced plan: worst shard carries %.2f× the fair slot share", worstPlan)
+	}
+	if worstNaive < 2*worstPlan {
+		t.Errorf("skew fixture too tame: naive worst %.2f× vs plan worst %.2f× — the plan should win big here",
+			worstNaive, worstPlan)
+	}
+}
+
+// TestShardPlanTinyGraphs: plans on graphs smaller than the worker count
+// must stay well-formed (every chunk in range, full coverage), and the
+// engine must run them correctly with absurd worker requests.
+func TestShardPlanTinyGraphs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		g := graph.Path(n)
+		plan := buildShardPlan(g.EdgeIndex(), n, max(n, 1))
+		if got := int(plan.chunkLo[plan.numChunks()]); got != n {
+			t.Errorf("n=%d: plan covers %d nodes", n, got)
+		}
+		net := New(g, Config{Parallel: true, Workers: 64})
+		net.SetProcesses(func(v graph.NodeID) Process {
+			return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+				ctx.Broadcast(kindTestData, uint64(v))
+				return round >= 1
+			})
+		})
+		if _, err := net.Run(); err != nil {
+			t.Errorf("n=%d workers=64: %v", n, err)
+		}
+		net.Close()
+	}
+}

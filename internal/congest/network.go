@@ -248,6 +248,10 @@ func (c *engineCore) Reset(seed uint64) {
 // ID returns the model identifier assigned to node v.
 func (c *engineCore) ID(v graph.NodeID) uint64 { return c.ids[v] }
 
+// Close is a no-op for the sequential engine (no pooled goroutines to park);
+// the sharded engine overrides it.
+func (c *engineCore) Close() {}
+
 // ChargeRounds accounts k additional rounds for a pipelined sub-protocol that
 // is not simulated message-by-message. Negative charges are ignored.
 func (c *engineCore) ChargeRounds(k int) {

@@ -59,6 +59,7 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	// initial coloring. IDSparseRandom produces IDs from a space of size n³,
 	// exactly the O(log n)-bit assumption.
 	net := congest.New(g, congest.Config{Seed: opts.Seed, IDs: opts.IDs, Parallel: opts.Parallel, Workers: opts.Workers})
+	defer net.Close()
 	ids := make([]int, n)
 	for v := 0; v < n; v++ {
 		ids[v] = int(net.ID(graph.NodeID(v)))

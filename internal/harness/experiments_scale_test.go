@@ -17,8 +17,8 @@ func TestE11Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(table.Rows) != 4 {
-		t.Fatalf("quick E11 should have 2 points × 2 algorithms = 4 rows, got %d", len(table.Rows))
+	if len(table.Rows) != 6 {
+		t.Fatalf("quick E11 should have 2 points × (greedy + relaxed×2 engines) = 6 rows, got %d", len(table.Rows))
 	}
 	col := func(name string) int {
 		for i, c := range table.Columns {
@@ -29,8 +29,10 @@ func TestE11Smoke(t *testing.T) {
 		t.Fatalf("missing column %q", name)
 		return -1
 	}
-	nCol, colorsCol, paletteCol := col("n"), col("colors used"), col("palette")
+	nCol, colorsCol, paletteCol, engineCol := col("n"), col("colors used"), col("palette"), col("engine")
+	engines := map[string]int{}
 	for _, row := range table.Rows {
+		engines[row[engineCol]]++
 		n, err := strconv.Atoi(row[nCol])
 		if err != nil || n != 50_000 {
 			t.Errorf("row %v: n = %q, want 50000", row, row[nCol])
@@ -43,6 +45,11 @@ func TestE11Smoke(t *testing.T) {
 		if err != nil || colors > palette {
 			t.Errorf("row %v: colors %d exceed the advertised palette %q", row, colors, row[paletteCol])
 		}
+	}
+	// Both engines must appear: the relaxed rows run the engine axis, so the
+	// pooled sharded engine is on E11's measured path even in the smoke.
+	if engines["sequential"] != 4 || engines["sharded"] != 2 {
+		t.Errorf("engine column mix = %v, want 4× sequential + 2× sharded", engines)
 	}
 	// The deterministic columns must not depend on the run: regenerate and
 	// compare everything except the volatile wall-clock/throughput/RSS.

@@ -131,6 +131,7 @@ func Run(g *graph.Graph, opts Options) (Result, error) {
 	tk := opts.TrialKernel
 	if tk == nil {
 		tk = trial.NewRunner(g, opts.Parallel, opts.Workers)
+		defer tk.Close() // owned kernel: injected ones are closed by their owner
 	} else if tk.Graph() != g {
 		return Result{}, fmt.Errorf("randd2: injected trial kernel was built for a different graph")
 	}

@@ -25,18 +25,27 @@ func TestTrialKernelReuseByteDeterminism(t *testing.T) {
 		{"cliquechain", graph.CliqueChain(4, 5, 0)},
 	}
 	seeds := []uint64{1, 7, 42}
+	engines := []struct {
+		parallel bool
+		workers  int
+	}{
+		{false, 0},
+		{true, 0}, // GOMAXPROCS workers (inline fast path on 1-core machines)
+		{true, 3}, // forces a real pooled worker team regardless of the machine
+	}
 	for _, fam := range families {
-		for _, parallel := range []bool{false, true} {
-			shared := trial.NewRunner(fam.g, parallel, 0)
+		for _, eng := range engines {
+			shared := trial.NewRunner(fam.g, eng.parallel, eng.workers)
+			defer shared.Close()
 			for _, variant := range []Variant{VariantImproved, VariantBasic} {
 				for _, seed := range seeds {
-					t.Run(fmt.Sprintf("%s/%s/parallel=%v/seed=%d", fam.name, variant, parallel, seed), func(t *testing.T) {
-						fresh, err := Run(fam.g, Options{Variant: variant, Seed: seed, Parallel: parallel,
+					t.Run(fmt.Sprintf("%s/%s/parallel=%v/workers=%d/seed=%d", fam.name, variant, eng.parallel, eng.workers, seed), func(t *testing.T) {
+						fresh, err := Run(fam.g, Options{Variant: variant, Seed: seed, Parallel: eng.parallel, Workers: eng.workers,
 							DisableDeterministicFallback: true})
 						if err != nil {
 							t.Fatalf("fresh: %v", err)
 						}
-						reused, err := Run(fam.g, Options{Variant: variant, Seed: seed, Parallel: parallel,
+						reused, err := Run(fam.g, Options{Variant: variant, Seed: seed, Parallel: eng.parallel, Workers: eng.workers,
 							DisableDeterministicFallback: true, TrialKernel: shared})
 						if err != nil {
 							t.Fatalf("reused: %v", err)

@@ -351,7 +351,9 @@ func Run(spec Spec, opts Options) (*Grid, error) {
 		c.Reps = reps
 
 		// The cell's engine, extended with a memoized per-cell trial kernel:
-		// the first kernel-running repetition builds it, the rest reuse it.
+		// the first kernel-running repetition builds it, the rest reuse it,
+		// and the cell closes it on the way out (parking the sharded
+		// engine's worker team — cells must not leak pooled goroutines).
 		eng := engines[ei].Engine
 		var tk *trial.Runner
 		eng.Kernel = func() *trial.Runner {
@@ -360,6 +362,11 @@ func Run(spec Spec, opts Options) (*Grid, error) {
 			}
 			return tk
 		}
+		defer func() {
+			if tk != nil {
+				tk.Close()
+			}
+		}()
 
 		for rep := 0; rep < reps; rep++ {
 			repStart := time.Now()

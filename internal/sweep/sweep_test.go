@@ -307,3 +307,48 @@ func TestGridDeterminismRealAlgorithm(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineAxisWorkerCountsByteIdentical runs a real simulated sweep over an
+// engine axis with genuine pooled worker counts — not just axis labels — and
+// asserts that every engine produces identical aggregates and colorings. The
+// sharded values force multi-worker teams even on single-core machines, so
+// the persistent pool, the fused round and the work-stealing tail are all on
+// the measured path of the grid engine.
+func TestEngineAxisWorkerCountsByteIdentical(t *testing.T) {
+	spec := sweep.Spec{
+		Name: "engine-axis-workers",
+		Points: []sweep.Point{
+			{Label: "gnp", Build: func() (*graph.Graph, string, error) { return graph.GNPWithAverageDegree(150, 8, 3), "", nil }},
+		},
+		Algorithms: []sweep.AlgAxis{{Alg: alg.MustGet("rand-improved")}},
+		Engines: []sweep.EngineAxis{
+			{Name: "sequential"},
+			{Name: "sharded-w2", Engine: alg.Engine{Parallel: true, Workers: 2}},
+			{Name: "sharded-w5", Engine: alg.Engine{Parallel: true, Workers: 5}},
+		},
+		Reps: 2,
+		Seed: 1,
+	}
+	grid, err := sweep.Run(spec, sweep.Options{Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := grid.Cell(0, 0, 0)
+	for ei := 1; ei < len(spec.Engines); ei++ {
+		c := grid.Cell(0, 0, ei)
+		for _, m := range []string{sweep.MeasureRounds, sweep.MeasureColors} {
+			if c.Mean(m) != ref.Mean(m) || c.Max(m) != ref.Max(m) || c.Min(m) != ref.Min(m) {
+				t.Errorf("engine %s measure %s diverged from sequential", spec.Engines[ei].Name, m)
+			}
+		}
+		for v := range c.Sample.Coloring {
+			if c.Sample.Coloring[v] != ref.Sample.Coloring[v] {
+				t.Errorf("engine %s sample coloring diverged at node %d", spec.Engines[ei].Name, v)
+				break
+			}
+		}
+		if c.Sample.Metrics != ref.Sample.Metrics {
+			t.Errorf("engine %s sample metrics diverged: %v vs %v", spec.Engines[ei].Name, c.Sample.Metrics, ref.Sample.Metrics)
+		}
+	}
+}

@@ -302,6 +302,13 @@ func NewRunner(g *graph.Graph, parallel bool, workers int) *Runner {
 	return r
 }
 
+// Close releases the kernel's network (parking the sharded engine's
+// persistent worker team). Idempotent; the Runner must not be used after
+// Close. Owners of long-lived kernels — the sweep engine's per-cell memo,
+// any future session cache — call this on teardown so pooled goroutines
+// never outlive the kernel they serve.
+func (r *Runner) Close() { r.net.Close() }
+
 // Start validates cfg and rewinds the kernel for a new run: network reset to
 // cfg.Seed, every flat array cleared, the live counter recomputed from
 // cfg.Initial. It allocates only when cfg.PaletteSize exceeds every palette
@@ -444,10 +451,13 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 }
 
 // Run executes trial phases on g until the coloring is complete or the phase
-// budget is exhausted, on a freshly built kernel. Callers running the
-// primitive repeatedly on one graph should build a Runner once and reuse it.
+// budget is exhausted, on a freshly built kernel (closed before returning).
+// Callers running the primitive repeatedly on one graph should build a
+// Runner once and reuse it.
 func Run(g *graph.Graph, cfg Config) (Result, error) {
-	return NewRunner(g, cfg.Parallel, cfg.Workers).Run(cfg)
+	r := NewRunner(g, cfg.Parallel, cfg.Workers)
+	defer r.Close()
+	return r.Run(cfg)
 }
 
 // stepPropose records adoption notifications from the previous phase and
