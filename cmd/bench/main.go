@@ -6,10 +6,16 @@
 // plane, the distance-2 stream and the sweep grid) are visible as diffs
 // between snapshots rather than anecdotes.
 //
+// Since ISSUE 7 the snapshot also carries the memory probe: peak resident
+// set and bytes per node for the greedy and relaxed algorithms on the
+// standard n = 10⁶ sparse workload — the figure of merit of the memory diet,
+// made first-class so its trajectory diffs like the nanoseconds do.
+//
 // Run from the repository root:
 //
-//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_6.json
+//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_7.json
 //	go run ./cmd/bench -benchtime 5x        # steadier numbers
+//	go run ./cmd/bench -memprobe 0          # skip the n=1e6 memory probe
 //	go run ./cmd/bench -out snapshots/B.json
 package main
 
@@ -25,6 +31,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"d2color/internal/harness"
 )
 
 // pinnedSet is the benchmark selection the snapshot tracks: one entry per
@@ -53,11 +61,17 @@ type measurement struct {
 // snapshot is the file layout of BENCH_<pr>.json. Cores records the
 // machine's CPU count: the sharded-engine benchmarks embed their worker
 // count in the benchmark name, and a snapshot from a 1-core runner is not
-// comparable to one from an 8-core runner for those entries.
+// comparable to one from an 8-core runner for those entries. Memory holds
+// the n = 10⁶ peak-RSS probe (omitted with -memprobe 0); MemoryReliable
+// records whether the platform allowed resetting VmHWM between probes —
+// when false the readings are monotone and unfit for cross-snapshot
+// comparison.
 type snapshot struct {
-	Benchtime  string                 `json:"benchtime"`
-	Cores      int                    `json:"cores"`
-	Benchmarks map[string]measurement `json:"benchmarks"`
+	Benchtime      string                 `json:"benchtime"`
+	Cores          int                    `json:"cores"`
+	Benchmarks     map[string]measurement `json:"benchmarks"`
+	Memory         []harness.MemoryProbe  `json:"memory,omitempty"`
+	MemoryReliable bool                   `json:"memoryReliable,omitempty"`
 }
 
 func main() {
@@ -70,8 +84,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "BENCH_6.json", "snapshot file to write")
+		out       = fs.String("out", "BENCH_7.json", "snapshot file to write")
 		benchtime = fs.String("benchtime", "1x", "-benchtime passed to go test (1x = smoke, 5x+ = steadier)")
+		memprobe  = fs.Int("memprobe", 1_000_000, "node count for the peak-RSS memory probe (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +106,19 @@ func run(args []string, stdout io.Writer) error {
 		prefix := strings.TrimPrefix(entry.pkg, "./internal/")
 		for name, m := range parseBenchOutput(string(output)) {
 			snap.Benchmarks[prefix+"/"+name] = m
+		}
+	}
+
+	if *memprobe > 0 {
+		fmt.Fprintf(stdout, "== memory probe (gnp avg deg 8, n=%d, packed colorings)\n", *memprobe)
+		probes, reliable, err := harness.RunMemoryProbe(*memprobe, 1, []string{"greedy", "relaxed"})
+		if err != nil {
+			return err
+		}
+		snap.Memory, snap.MemoryReliable = probes, reliable
+		for _, p := range probes {
+			fmt.Fprintf(stdout, "%-10s peak %.0f MiB  %.0f B/node  (reliable=%v)\n",
+				p.Algorithm, p.PeakRSSMiB, p.BytesPerNode, reliable)
 		}
 	}
 
@@ -158,10 +186,12 @@ func orderedSnapshot(s snapshot) any {
 		measurement
 	}
 	out := struct {
-		Benchtime  string             `json:"benchtime"`
-		Cores      int                `json:"cores"`
-		Benchmarks []namedMeasurement `json:"benchmarks"`
-	}{Benchtime: s.Benchtime, Cores: s.Cores}
+		Benchtime      string                `json:"benchtime"`
+		Cores          int                   `json:"cores"`
+		Memory         []harness.MemoryProbe `json:"memory,omitempty"`
+		MemoryReliable bool                  `json:"memoryReliable,omitempty"`
+		Benchmarks     []namedMeasurement    `json:"benchmarks"`
+	}{Benchtime: s.Benchtime, Cores: s.Cores, Memory: s.Memory, MemoryReliable: s.MemoryReliable}
 	for _, name := range names {
 		out.Benchmarks = append(out.Benchmarks, namedMeasurement{Name: name, measurement: s.Benchmarks[name]})
 	}

@@ -2,9 +2,16 @@
 // structural summary or the full edge list, so that the workloads used by the
 // experiments can be inspected or exported to other tools.
 //
+// For generator kinds with a closed-form expected size, graphgen first
+// prints the estimated resident bytes of simulating on the graph — the CSR,
+// the 32-bit engine's message plane and inbox arena, and a bit-packed
+// coloring — before paying the generation cost, so a 10⁷-node spec can be
+// sized against a machine's memory in milliseconds.
+//
 // Example:
 //
 //	graphgen -graph unitdisk -n 200 -p 0.15 -stats
+//	graphgen -graph gnp-avg -n 10000000 -p 8 -estimate -stats=false
 //	graphgen -graph cliquechain -n 5 -m 8 -edges > chain.txt
 package main
 
@@ -13,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
 	"os"
 
 	"d2color/internal/graph"
@@ -29,25 +38,35 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		kind   = fs.String("graph", "gnp", "graph generator kind (see cmd/d2color)")
-		n      = fs.Int("n", 256, "primary size parameter")
-		m      = fs.Int("m", 0, "secondary size parameter")
-		degree = fs.Int("degree", 8, "degree-like parameter")
-		p      = fs.Float64("p", 0.05, "probability / radius parameter")
-		seed   = fs.Int64("seed", 1, "random seed")
-		edges  = fs.Bool("edges", false, "print the edge list (u v per line)")
-		stats  = fs.Bool("stats", true, "print structural statistics")
+		kind     = fs.String("graph", "gnp", "graph generator kind (see cmd/d2color)")
+		n        = fs.Int("n", 256, "primary size parameter")
+		m        = fs.Int("m", 0, "secondary size parameter")
+		degree   = fs.Int("degree", 8, "degree-like parameter")
+		p        = fs.Float64("p", 0.05, "probability / radius parameter")
+		seed     = fs.Int64("seed", 1, "random seed")
+		edges    = fs.Bool("edges", false, "print the edge list (u v per line)")
+		stats    = fs.Bool("stats", true, "print structural statistics")
+		estimate = fs.Bool("estimate", true, "print the estimated resident bytes of simulating on the spec before generating")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	spec := graph.GeneratorSpec{Kind: *kind, N: *n, M: *m, Degree: *degree, P: *p, Seed: *seed}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	if *estimate {
+		if en, em, ok := expectedSize(spec); ok {
+			printResidentEstimate(w, spec, en, em)
+			w.Flush() // the estimate is useful even if generation then takes minutes
+		}
+	}
+	if !*stats && !*edges {
+		return nil
+	}
 	g, err := spec.Generate()
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(out)
-	defer w.Flush()
 	if *stats {
 		// Every distance-2 statistic below (Δ(G²), avg d2-degree, m(G²))
 		// comes from the streaming Dist2View — sizing a workload's square no
@@ -63,4 +82,86 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// expectedSize returns the spec's expected node and undirected-edge counts in
+// closed form for the kinds where one exists (random kinds: in expectation).
+func expectedSize(s graph.GeneratorSpec) (n, m float64, ok bool) {
+	switch s.Kind {
+	case "gnp":
+		n = float64(s.N)
+		m = n * (n - 1) / 2 * s.P
+	case "gnp-avg":
+		n = float64(s.N)
+		m = n * s.P / 2 // P is the target average degree
+	case "regular":
+		n = float64(s.N)
+		m = n * float64(s.Degree) / 2
+	case "grid":
+		r, c := float64(s.N), float64(s.M)
+		n = r * c
+		m = r*(c-1) + c*(r-1)
+	case "torus":
+		r, c := float64(s.N), float64(s.M)
+		n = r * c
+		m = 2 * n
+	case "unitdisk":
+		n = float64(s.N)
+		m = n * (n - 1) / 2 * math.Pi * s.P * s.P // expected pairs within radius P (boundary effects ignored)
+	case "complete":
+		n = float64(s.N)
+		m = n * (n - 1) / 2
+	case "cycle":
+		n = float64(s.N)
+		m = n
+	case "path", "star":
+		n = float64(s.N)
+		m = n - 1
+	default:
+		return 0, 0, false // no closed form; the exact stats follow generation
+	}
+	if n <= 0 || m < 0 {
+		return 0, 0, false
+	}
+	return n, m, true
+}
+
+// printResidentEstimate sizes the three resident tiers of a simulation on an
+// (n, m) graph against the actual layouts: the CSR with its reverse edge
+// index (4-byte offsets, targets and reverse slots), the CONGEST engine's
+// message plane plus inbox arena (a 24-byte inline Message and 8 bytes of
+// count/generation per directed edge, a 24-byte inbox header per node), and
+// a bit-packed distance-2 coloring under the (Δ̄+1)² palette proxy, where Δ̄
+// is the average degree — heavy-tailed degree distributions need a few more
+// bits per node than the proxy suggests.
+func printResidentEstimate(w io.Writer, s graph.GeneratorSpec, n, m float64) {
+	slots := 2 * m
+	csr := 4*(n+1) + 4*slots           // offsets + targets
+	csr += 4*(n+1) + 4*slots           // edge index: slot offsets + reverse slots
+	plane := (24+4+4)*slots + 4*(n+1)  // inline Message + count + generation per slot
+	plane += 24*slots + 24*n           // inbox arena + per-node headers
+	avgDeg := 0.0
+	if n > 0 {
+		avgDeg = 2 * m / n
+	}
+	palette := (avgDeg + 1) * (avgDeg + 1)
+	packedBits := bits.Len64(uint64(palette) + 1)
+	col := n * float64(packedBits) / 8
+	fmt.Fprintf(w, "# est. simulation residency for %s: E[n]=%.3g E[m]=%.3g\n", s.String(), n, m)
+	fmt.Fprintf(w, "# est. CSR+edge-index %s, message plane+inboxes %s, packed coloring %s (%d bits/node) — total ≈ %s\n",
+		fmtBytes(csr), fmtBytes(plane), fmtBytes(col), packedBits, fmtBytes(csr+plane+col))
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
 }

@@ -59,13 +59,23 @@ type Engine struct {
 	// The provider is expected to memoize; algorithms that do not run trial
 	// phases never call it, so no kernel is built for them.
 	Kernel func() *trial.Runner
+	// PackedColors asks the adapter to emit the coloring bit-packed
+	// (Result.Packed instead of Result.Coloring): ⌈log₂(palette+1)⌉ bits/node,
+	// the representation the 10⁷-node scale runs keep resident. The colors
+	// are byte-identical either way. Adapters that have no packed path
+	// (results flowing through Details) ignore the flag and fill Coloring.
+	PackedColors bool
 }
 
 // Result is the algorithm-independent outcome of one run.
 type Result struct {
 	// Coloring assigns a color to every node (for MIS-shaped algorithms,
-	// membership encoded as colors 1/0).
+	// membership encoded as colors 1/0). Nil when the run produced a packed
+	// coloring instead; use ColorsUsed/ColorAt for backing-agnostic reads.
 	Coloring coloring.Coloring
+	// Packed is the bit-packed assignment, set instead of Coloring when the
+	// engine requested Engine.PackedColors and the adapter supports it.
+	Packed *coloring.Packed
 	// PaletteSize is the palette bound the run guarantees.
 	PaletteSize int
 	// Metrics is the CONGEST cost of the run.
@@ -73,6 +83,23 @@ type Result struct {
 	// Details carries the package-specific result (e.g. *randd2.Result) for
 	// callers that need per-stage observability. May be nil.
 	Details any
+}
+
+// ColorsUsed returns the distinct-color count of whichever backing the run
+// produced.
+func (r *Result) ColorsUsed() int {
+	if r.Packed != nil {
+		return r.Packed.NumColorsUsed()
+	}
+	return r.Coloring.NumColorsUsed()
+}
+
+// ColorAt returns node v's color from whichever backing the run produced.
+func (r *Result) ColorAt(v graph.NodeID) int {
+	if r.Packed != nil {
+		return r.Packed.Get(v)
+	}
+	return r.Coloring.Get(v)
 }
 
 // Algorithm is one runnable algorithm instance. Implementations must be safe

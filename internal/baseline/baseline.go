@@ -28,7 +28,12 @@ import (
 
 // Result is the common shape of a baseline run.
 type Result struct {
-	Coloring    coloring.Coloring
+	// Coloring is the assignment as a plain []int; nil when the run was asked
+	// for packed output.
+	Coloring coloring.Coloring
+	// Packed is the bit-packed assignment, set instead of Coloring when
+	// Options.PackedColors was requested. Colors are byte-identical.
+	Packed      *coloring.Packed
 	PaletteSize int
 	Metrics     congest.Metrics
 	Algorithm   string
@@ -47,6 +52,28 @@ type Options struct {
 	Parallel bool
 	// Workers bounds the sharded engine's goroutine pool; 0 means GOMAXPROCS.
 	Workers int
+	// TrialKernel optionally injects a reusable trial kernel built for the
+	// input graph; JohanssonD1 and RelaxedD2 then run on it instead of
+	// building (and tearing down) a fresh network per call — the per-call
+	// allocation profile drops from O(n + m) to the output coloring alone.
+	// The kernel must have been built for the same graph; it is not closed.
+	// NaiveD2 cannot use it (its trial runs on the materialized square).
+	TrialKernel *trial.Runner
+	// PackedColors emits the result bit-packed (Result.Packed set,
+	// Result.Coloring nil); see trial.Config.PackedOutput.
+	PackedColors bool
+}
+
+// runTrial dispatches a trial run to the injected reusable kernel, or to a
+// throwaway one (trial.Run) when none was supplied.
+func runTrial(g *graph.Graph, opts Options, cfg trial.Config) (trial.Result, error) {
+	if tk := opts.TrialKernel; tk != nil {
+		if tk.Graph() != g {
+			return trial.Result{}, fmt.Errorf("baseline: injected trial kernel was built for a different graph")
+		}
+		return tk.Run(cfg)
+	}
+	return trial.Run(g, cfg)
 }
 
 // GreedyD2 colors G² sequentially in node order, always choosing the smallest
@@ -58,9 +85,38 @@ type Options struct {
 // element-at-a-time prefix walk; the greedy floor scales to million-node
 // graphs.
 func GreedyD2(g *graph.Graph) Result {
-	d2 := graph.NewDist2View(g)
+	colors, palette := greedyD2Colors(g)
 	n := g.NumNodes()
 	c := coloring.New(n)
+	for v := range c {
+		c[v] = int(colors[v])
+	}
+	return Result{Coloring: c, PaletteSize: palette, Algorithm: "greedy-d2"}
+}
+
+// GreedyD2Packed is GreedyD2 emitting the coloring bit-packed: the scan's
+// working set is the transient 4-bytes/node scratch plus the
+// ⌈log₂(palette+1)⌉-bits/node output — the representation 10⁷-node rows keep
+// resident. Colors are byte-identical to GreedyD2.
+func GreedyD2Packed(g *graph.Graph) Result {
+	colors, palette := greedyD2Colors(g)
+	out := coloring.NewPacked(g.NumNodes(), palette)
+	for v, c := range colors {
+		out.Set(graph.NodeID(v), int(c))
+	}
+	return Result{Packed: out, PaletteSize: palette, Algorithm: "greedy-d2"}
+}
+
+// greedyD2Colors is the shared greedy scan, writing into an int32 scratch
+// (every greedy color is at most Δ(G²) < n ≤ 2³¹) that the public entry
+// points expand or pack.
+func greedyD2Colors(g *graph.Graph) ([]int32, int) {
+	d2 := graph.NewDist2View(g)
+	n := g.NumNodes()
+	c := make([]int32, n)
+	for v := range c {
+		c[v] = int32(coloring.Uncolored)
+	}
 	// Greedy assigns node v a color at most its d2-degree, so Δ(G²)+1 bits
 	// bound every pick; +1 more keeps FirstZero in range when a node's whole
 	// prefix is used. The walk visits the raw 1- and 2-hop lists without
@@ -72,10 +128,10 @@ func GreedyD2(g *graph.Graph) Result {
 	// nodes.
 	used := bitset.NewFixed(d2.MaxDist2Degree() + 2)
 	var touched []int32
-	mark := func(col int) {
-		if col != coloring.Uncolored && !used.Test(col) {
-			used.Set(col)
-			touched = append(touched, int32(col))
+	mark := func(col int32) {
+		if col != int32(coloring.Uncolored) && !used.Test(int(col)) {
+			used.Set(int(col))
+			touched = append(touched, col)
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -85,17 +141,13 @@ func GreedyD2(g *graph.Graph) Result {
 				mark(c[w])
 			}
 		}
-		c[v] = used.FirstZero()
+		c[v] = int32(used.FirstZero())
 		for _, t := range touched {
 			used.Clear(int(t))
 		}
 		touched = touched[:0]
 	}
-	return Result{
-		Coloring:    c,
-		PaletteSize: d2.MaxDist2Degree() + 1,
-		Algorithm:   "greedy-d2",
-	}
+	return c, d2.MaxDist2Degree() + 1
 }
 
 // GreedyD1 colors G sequentially with at most Δ+1 colors, picking first-free
@@ -125,13 +177,14 @@ func GreedyD1(g *graph.Graph) Result {
 // color and keeps it if no neighbor uses or simultaneously tries it.
 func JohanssonD1(g *graph.Graph, opts Options) (Result, error) {
 	palette := g.MaxDegree() + 1
-	res, err := trial.Run(g, trial.Config{
+	res, err := runTrial(g, opts, trial.Config{
 		PaletteSize:    palette,
 		Scope:          trial.ScopeDistance1,
 		Seed:           opts.Seed,
 		AvoidKnownUsed: true,
 		Parallel:       opts.Parallel,
 		Workers:        opts.Workers,
+		PackedOutput:   opts.PackedColors,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("johansson: %w", err)
@@ -139,7 +192,7 @@ func JohanssonD1(g *graph.Graph, opts Options) (Result, error) {
 	if !res.Complete {
 		return Result{}, fmt.Errorf("johansson: did not complete within %d phases", res.Phases)
 	}
-	return Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: res.Metrics, Algorithm: "johansson-d1"}, nil
+	return Result{Coloring: res.Coloring, Packed: res.Packed, PaletteSize: palette, Metrics: res.Metrics, Algorithm: "johansson-d1"}, nil
 }
 
 // RelaxedD2 runs the simple whole-palette random-trial d2-coloring with
@@ -148,12 +201,13 @@ func JohanssonD1(g *graph.Graph, opts Options) (Result, error) {
 // algorithms.
 func RelaxedD2(g *graph.Graph, opts Options) (Result, error) {
 	palette := relaxedPalette(g.MaxDegree(), opts.Epsilon)
-	res, err := trial.Run(g, trial.Config{
-		PaletteSize: palette,
-		Scope:       trial.ScopeDistance2,
-		Seed:        opts.Seed,
-		Parallel:    opts.Parallel,
-		Workers:     opts.Workers,
+	res, err := runTrial(g, opts, trial.Config{
+		PaletteSize:  palette,
+		Scope:        trial.ScopeDistance2,
+		Seed:         opts.Seed,
+		Parallel:     opts.Parallel,
+		Workers:      opts.Workers,
+		PackedOutput: opts.PackedColors,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("relaxed-d2: %w", err)
@@ -161,7 +215,7 @@ func RelaxedD2(g *graph.Graph, opts Options) (Result, error) {
 	if !res.Complete {
 		return Result{}, fmt.Errorf("relaxed-d2: did not complete within %d phases", res.Phases)
 	}
-	return Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: res.Metrics, Algorithm: "relaxed-d2"}, nil
+	return Result{Coloring: res.Coloring, Packed: res.Packed, PaletteSize: palette, Metrics: res.Metrics, Algorithm: "relaxed-d2"}, nil
 }
 
 // relaxedPalette is the (1+ε)Δ²+1 palette of RelaxedD2 (negative ε means 0),
@@ -203,6 +257,7 @@ func NaiveD2(g *graph.Graph, opts Options) (Result, error) {
 		// track their G²-neighbors' colors, so the simple algorithm picks
 		// among colors it has not seen used.
 		AvoidKnownUsed: true,
+		PackedOutput:   opts.PackedColors,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("naive-d2: %w", err)
@@ -221,8 +276,14 @@ func NaiveD2(g *graph.Graph, opts Options) (Result, error) {
 	}
 	// Verify on the original graph as a belt-and-braces check: a proper
 	// coloring of G² is by definition a d2-coloring of G.
-	if rep := verify.CheckD2(g, res.Coloring, palette); !rep.Valid {
+	var rep verify.Report
+	if res.Packed != nil {
+		rep = verify.CheckD2Packed(g, res.Packed, palette)
+	} else {
+		rep = verify.CheckD2(g, res.Coloring, palette)
+	}
+	if !rep.Valid {
 		return Result{}, fmt.Errorf("naive-d2: internal error, produced invalid coloring: %w", rep.Error())
 	}
-	return Result{Coloring: res.Coloring, PaletteSize: palette, Metrics: m, Algorithm: "naive-d2"}, nil
+	return Result{Coloring: res.Coloring, Packed: res.Packed, PaletteSize: palette, Metrics: m, Algorithm: "naive-d2"}, nil
 }

@@ -12,9 +12,14 @@ func GreedyAlgorithm() alg.Algorithm {
 		AlgName: "greedy",
 		Class:   alg.Deterministic,
 		Palette: alg.D2Palette,
-		RunFunc: func(g *graph.Graph, _ alg.Engine, _ uint64) (alg.Result, error) {
-			r := GreedyD2(g)
-			return alg.Result{Coloring: r.Coloring, PaletteSize: r.PaletteSize, Metrics: r.Metrics, Details: &r}, nil
+		RunFunc: func(g *graph.Graph, eng alg.Engine, _ uint64) (alg.Result, error) {
+			var r Result
+			if eng.PackedColors {
+				r = GreedyD2Packed(g)
+			} else {
+				r = GreedyD2(g)
+			}
+			return alg.Result{Coloring: r.Coloring, Packed: r.Packed, PaletteSize: r.PaletteSize, Metrics: r.Metrics, Details: &r}, nil
 		},
 	}
 }
@@ -31,11 +36,12 @@ func NaiveAlgorithm(opts Options) alg.Algorithm {
 			o.Seed = seed
 			o.Parallel = eng.Parallel
 			o.Workers = eng.Workers
+			o.PackedColors = eng.PackedColors
 			r, err := NaiveD2(g, o)
 			if err != nil {
 				return alg.Result{}, err
 			}
-			return alg.Result{Coloring: r.Coloring, PaletteSize: r.PaletteSize, Metrics: r.Metrics, Details: &r}, nil
+			return alg.Result{Coloring: r.Coloring, Packed: r.Packed, PaletteSize: r.PaletteSize, Metrics: r.Metrics, Details: &r}, nil
 		},
 	}
 }
@@ -54,11 +60,15 @@ func RelaxedAlgorithm(opts Options) alg.Algorithm {
 			o.Seed = seed
 			o.Parallel = eng.Parallel
 			o.Workers = eng.Workers
+			o.PackedColors = eng.PackedColors
+			if o.TrialKernel == nil && eng.Kernel != nil {
+				o.TrialKernel = eng.Kernel()
+			}
 			r, err := RelaxedD2(g, o)
 			if err != nil {
 				return alg.Result{}, err
 			}
-			return alg.Result{Coloring: r.Coloring, PaletteSize: r.PaletteSize, Metrics: r.Metrics, Details: &r}, nil
+			return alg.Result{Coloring: r.Coloring, Packed: r.Packed, PaletteSize: r.PaletteSize, Metrics: r.Metrics, Details: &r}, nil
 		},
 	}
 }

@@ -35,6 +35,10 @@ func (c Coloring) Clone() Coloring {
 	return out
 }
 
+// Len returns the number of nodes, mirroring Packed.Len so generic code can
+// range over either backing.
+func (c Coloring) Len() int { return len(c) }
+
 // Get returns the color of node v.
 func (c Coloring) Get(v graph.NodeID) int { return c[v] }
 
@@ -134,15 +138,21 @@ func (p *Palette) IsAvailable(color int) bool {
 // NumAvailable returns the number of available colors.
 func (p *Palette) NumAvailable() int { return p.size - p.nUsed }
 
-// Available returns the sorted list of available colors.
+// Available returns the sorted list of available colors in a fresh slice.
+// Hot paths should use AppendAvailable with a reused buffer instead.
 func (p *Palette) Available() []int {
-	out := make([]int, 0, p.NumAvailable())
+	return p.AppendAvailable(make([]int, 0, p.NumAvailable()))
+}
+
+// AppendAvailable appends the sorted available colors to dst and returns the
+// extended slice. It only allocates when dst lacks capacity.
+func (p *Palette) AppendAvailable(dst []int) []int {
 	for c := 0; c < p.size; c++ {
 		if !p.used[c] {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
-	return out
+	return dst
 }
 
 // NthAvailable returns the i-th (0-based) available color, or -1 if fewer

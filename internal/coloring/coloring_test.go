@@ -94,6 +94,19 @@ func TestPaletteBasics(t *testing.T) {
 			t.Errorf("Available[%d] = %d, want %d", i, got[i], want[i])
 		}
 	}
+	buf := make([]int, 0, 8)
+	appended := p.AppendAvailable(buf)
+	if len(appended) != len(want) || &appended[0] != &buf[0:1][0] {
+		t.Errorf("AppendAvailable should fill the supplied buffer in place, got %v", appended)
+	}
+	for i := range want {
+		if appended[i] != want[i] {
+			t.Errorf("AppendAvailable[%d] = %d, want %d", i, appended[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { buf = p.AppendAvailable(buf[:0]) }); allocs != 0 {
+		t.Errorf("AppendAvailable with capacity allocated %.1f times per run", allocs)
+	}
 	if p.NthAvailable(0) != 0 || p.NthAvailable(1) != 1 || p.NthAvailable(2) != 3 {
 		t.Error("NthAvailable gave wrong colors")
 	}

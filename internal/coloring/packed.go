@@ -1,0 +1,160 @@
+package coloring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"d2color/internal/graph"
+)
+
+// Packed stores one color per node in ⌈log₂(paletteSize+1)⌉ bits, behind the
+// same Get/Set/IsColored API as Coloring. Internally each node holds color+1
+// so that an all-zero backing array means "every node uncolored" — New-like
+// initialization is a single make, and Uncolored round-trips without a
+// second sentinel encoding.
+//
+// A Packed is bound to the palette it was created for: Set panics on a color
+// outside [0, paletteSize). Fields may straddle word boundaries; Get/Set
+// handle the two-word case branchlessly enough to stay off the allocator.
+type Packed struct {
+	words []uint64
+	n     int
+	bits  uint // field width; 1..64
+	mask  uint64
+	size  int // palette size the width was derived from
+}
+
+// NewPacked returns a packed coloring of n nodes over colors
+// {0, ..., paletteSize-1}, every node uncolored. A paletteSize below 1 is
+// treated as 1 (a single-color palette still needs one bit for the
+// colored/uncolored distinction).
+func NewPacked(n, paletteSize int) *Packed {
+	if paletteSize < 1 {
+		paletteSize = 1
+	}
+	// Stored values range over {0 (uncolored), 1, ..., paletteSize}.
+	b := uint(bits.Len(uint(paletteSize)))
+	totalBits := uint64(n)*uint64(b) + 63
+	return &Packed{
+		words: make([]uint64, totalBits/64),
+		n:     n,
+		bits:  b,
+		mask:  (uint64(1) << b) - 1,
+		size:  paletteSize,
+	}
+}
+
+// Len returns the number of nodes.
+func (p *Packed) Len() int { return p.n }
+
+// PaletteSize returns the palette bound the field width was derived from.
+func (p *Packed) PaletteSize() int { return p.size }
+
+// BitsPerNode returns the field width in bits.
+func (p *Packed) BitsPerNode() int { return int(p.bits) }
+
+// Get returns the color of node v, or Uncolored.
+func (p *Packed) Get(v graph.NodeID) int {
+	pos := uint64(v) * uint64(p.bits)
+	w, off := pos>>6, pos&63
+	raw := p.words[w] >> off
+	if off+uint64(p.bits) > 64 {
+		raw |= p.words[w+1] << (64 - off)
+	}
+	return int(raw&p.mask) - 1
+}
+
+// Set assigns color to node v. color must be Uncolored or in
+// [0, PaletteSize()); anything else panics — the width cannot represent it.
+func (p *Packed) Set(v graph.NodeID, color int) {
+	if color < Uncolored || color >= p.size {
+		panic(fmt.Sprintf("coloring: packed Set(%d, %d) outside palette of size %d", v, color, p.size))
+	}
+	val := uint64(color + 1)
+	pos := uint64(v) * uint64(p.bits)
+	w, off := pos>>6, pos&63
+	p.words[w] = p.words[w]&^(p.mask<<off) | val<<off
+	if spill := off + uint64(p.bits); spill > 64 {
+		hi := spill - 64 // bits living in the next word
+		p.words[w+1] = p.words[w+1]&^(p.mask>>(uint64(p.bits)-hi)) | val>>(uint64(p.bits)-hi)
+	}
+}
+
+// IsColored reports whether node v has been assigned a color.
+func (p *Packed) IsColored(v graph.NodeID) bool { return p.Get(v) != Uncolored }
+
+// Complete reports whether every node has a color.
+func (p *Packed) Complete() bool {
+	for v := 0; v < p.n; v++ {
+		if p.Get(graph.NodeID(v)) == Uncolored {
+			return false
+		}
+	}
+	return true
+}
+
+// NumColored returns the number of nodes that have a color.
+func (p *Packed) NumColored() int {
+	count := 0
+	for v := 0; v < p.n; v++ {
+		if p.Get(graph.NodeID(v)) != Uncolored {
+			count++
+		}
+	}
+	return count
+}
+
+// NumColorsUsed returns the number of distinct colors used by colored nodes.
+// The palette bound makes this a bitset walk, not a map.
+func (p *Packed) NumColorsUsed() int {
+	seen := make([]uint64, (p.size+63)/64)
+	for v := 0; v < p.n; v++ {
+		if c := p.Get(graph.NodeID(v)); c != Uncolored {
+			seen[c>>6] |= 1 << (uint(c) & 63)
+		}
+	}
+	count := 0
+	for _, w := range seen {
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
+// MaxColor returns the largest color value used, or -1 if nothing is colored.
+func (p *Packed) MaxColor() int {
+	maxCol := -1
+	for v := 0; v < p.n; v++ {
+		if c := p.Get(graph.NodeID(v)); c > maxCol {
+			maxCol = c
+		}
+	}
+	return maxCol
+}
+
+// Unpack expands the packed coloring into a fresh Coloring.
+func (p *Packed) Unpack() Coloring {
+	out := make(Coloring, p.n)
+	for v := range out {
+		out[v] = p.Get(graph.NodeID(v))
+	}
+	return out
+}
+
+// Pack compresses c into a Packed over the given palette size. Every color in
+// c must fit the palette; paletteSize below the maximum used color panics via
+// Set.
+func Pack(c Coloring, paletteSize int) *Packed {
+	p := NewPacked(len(c), paletteSize)
+	for v, col := range c {
+		if col != Uncolored {
+			p.Set(graph.NodeID(v), col)
+		}
+	}
+	return p
+}
+
+// String summarizes the packed coloring.
+func (p *Packed) String() string {
+	return fmt.Sprintf("Packed(nodes=%d, colored=%d, colors=%d, max=%d, bits=%d)",
+		p.n, p.NumColored(), p.NumColorsUsed(), p.MaxColor(), p.bits)
+}

@@ -1,0 +1,126 @@
+package coloring
+
+import (
+	"testing"
+
+	"d2color/internal/graph"
+)
+
+// packedOracleSpecs covers every generator family used by the registry
+// golden, at sizes where an exhaustive node-by-node comparison is cheap.
+func packedOracleSpecs(seed int64) []graph.GeneratorSpec {
+	return []graph.GeneratorSpec{
+		{Kind: "gnp", N: 300, P: 0.02, Seed: seed},
+		{Kind: "regular", N: 200, Degree: 6, Seed: seed},
+		{Kind: "grid", N: 15, M: 17},
+		{Kind: "tree", N: 5, Degree: 3},
+		{Kind: "cliquechain", N: 12, M: 6, Seed: seed},
+		{Kind: "unitdisk", N: 250, P: 0.08, Seed: seed},
+	}
+}
+
+// TestPackedMatchesColoringOracle drives Packed and the plain []int Coloring
+// through an identical deterministic mutation sequence — assignments,
+// overwrites, un-colorings — across palette widths that sit on both sides of
+// the 64-bit word boundary, and demands they agree on every accessor.
+func TestPackedMatchesColoringOracle(t *testing.T) {
+	widths := []int{1, 63, 64, 65}
+	for _, seed := range []int64{1, 2, 3} {
+		for _, spec := range packedOracleSpecs(seed) {
+			g, err := spec.Generate()
+			if err != nil {
+				t.Fatalf("%v: %v", spec, err)
+			}
+			n := g.NumNodes()
+			for _, width := range widths {
+				oracle := New(n)
+				packed := NewPacked(n, width)
+				if packed.Len() != n || packed.PaletteSize() != width {
+					t.Fatalf("width %d: Len=%d PaletteSize=%d", width, packed.Len(), packed.PaletteSize())
+				}
+				// xorshift-style deterministic stream; no shared rng state
+				// with the generators.
+				state := uint64(seed)*0x9e3779b97f4a7c15 + uint64(width)
+				next := func() uint64 {
+					state ^= state << 13
+					state ^= state >> 7
+					state ^= state << 17
+					return state
+				}
+				steps := 3*n + 16
+				for i := 0; i < steps; i++ {
+					v := graph.NodeID(next() % uint64(n))
+					c := int(next() % uint64(width))
+					if next()%8 == 0 {
+						c = Uncolored // exercise explicit un-coloring
+					}
+					oracle.Set(v, c)
+					packed.Set(v, c)
+				}
+				for v := 0; v < n; v++ {
+					id := graph.NodeID(v)
+					if oracle.Get(id) != packed.Get(id) {
+						t.Fatalf("%v width %d: node %d: oracle %d, packed %d",
+							spec, width, v, oracle.Get(id), packed.Get(id))
+					}
+					if oracle.IsColored(id) != packed.IsColored(id) {
+						t.Fatalf("%v width %d: node %d IsColored mismatch", spec, width, v)
+					}
+				}
+				if oracle.NumColored() != packed.NumColored() ||
+					oracle.NumColorsUsed() != packed.NumColorsUsed() ||
+					oracle.MaxColor() != packed.MaxColor() ||
+					oracle.Complete() != packed.Complete() {
+					t.Fatalf("%v width %d: aggregates diverge: oracle %v, packed %v",
+						spec, width, oracle, packed)
+				}
+				// Round trips in both directions.
+				back := packed.Unpack()
+				for v := range back {
+					if back[v] != oracle[v] {
+						t.Fatalf("%v width %d: Unpack[%d] = %d, want %d", spec, width, v, back[v], oracle[v])
+					}
+				}
+				rePacked := Pack(oracle, width)
+				for v := 0; v < n; v++ {
+					if rePacked.Get(graph.NodeID(v)) != oracle[v] {
+						t.Fatalf("%v width %d: Pack round trip broke node %d", spec, width, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackedWidthBits(t *testing.T) {
+	// Stored values are color+1, so a palette of size s needs
+	// bits.Len(s) bits: width 1 → 1 bit, 63 → 6, 64 → 7, 65 → 7.
+	for _, tc := range []struct{ size, bits int }{
+		{1, 1}, {2, 2}, {3, 2}, {63, 6}, {64, 7}, {65, 7}, {1 << 20, 21}, {0, 1}, {-5, 1},
+	} {
+		if got := NewPacked(10, tc.size).BitsPerNode(); got != tc.bits {
+			t.Errorf("palette %d: %d bits/node, want %d", tc.size, got, tc.bits)
+		}
+	}
+	if NewPacked(0, 7).Complete() != true {
+		t.Error("empty packed coloring should be vacuously complete")
+	}
+}
+
+func TestPackedSetOutOfPalettePanics(t *testing.T) {
+	p := NewPacked(4, 5)
+	for _, bad := range []int{5, 6, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(0, %d) on a 5-color palette should panic", bad)
+				}
+			}()
+			p.Set(0, bad)
+		}()
+	}
+	p.Set(0, 4) // the boundary color itself must fit
+	if p.Get(0) != 4 {
+		t.Errorf("Get after boundary Set = %d, want 4", p.Get(0))
+	}
+}

@@ -1,35 +1,54 @@
 package congest
 
-import "d2color/internal/graph"
+import (
+	"sync"
+
+	"d2color/internal/graph"
+)
 
 // plane is the preallocated, edge-sliced message plane at the heart of the
 // engine. Every directed edge of the topology owns a fixed slot (see
 // graph.EdgeIndex); a slot holds the messages sent over that edge in the
-// current round in a bucket whose backing array is reused across rounds, so
-// a warmed-up simulation sends and delivers without allocating.
+// current round.
+//
+// The storage is two-tier. The first message of a slot's round lives inline
+// in a flat []Message — one 24-byte record per slot, no per-slot slice
+// header, no per-slot heap object. Every protocol in this repository sends
+// at most one message per directed edge per round, so the overflow tier
+// (per-slot []Message buckets for the second and later messages) is
+// allocated lazily on the first double-send of the plane's lifetime; a
+// protocol that never double-sends never pays its 24 bytes per slot of
+// headers. At n = 10⁷ / avg degree 8 the inline tier is what bounds the
+// plane: ~0.5 GB instead of the ~1 GB the bucket-per-slot layout cost.
 //
 // Freshness is tracked with a per-slot generation stamp instead of clearing:
 // advancing the generation at the end of a round logically empties every
-// slot in O(1). A slot's bucket is truncated lazily on its first write of a
+// slot in O(1). A slot's count is reset lazily on its first write of a
 // round.
 //
 // Ownership discipline: only the tail node of a directed edge writes its
 // slot, and writes happen strictly before reads of the same round (the
 // engines place a barrier between the compute and delivery phases). That
 // makes the plane data-race free under the sharded engine without any
-// locking.
+// locking; the overflow tier's one-time allocation goes through a sync.Once
+// so concurrent first double-sends from different workers stay safe.
 type plane struct {
 	ix    *graph.EdgeIndex
-	slots [][]Message // per-slot buckets; capacity persists across rounds
-	gen   []uint32    // generation that last wrote each slot
-	cur   uint32      // generation of the round being filled
+	first []Message // inline tier: the first message written to each slot this round
+	cnt   []int32   // messages written to the slot this round (valid when gen matches)
+	gen   []uint32  // generation that last wrote each slot
+	cur   uint32    // generation of the round being filled
+
+	extra     [][]Message // overflow tier; nil until the first double-send
+	extraOnce sync.Once
 }
 
 func newPlane(ix *graph.EdgeIndex) *plane {
 	n := ix.NumSlots()
 	return &plane{
 		ix:    ix,
-		slots: make([][]Message, n),
+		first: make([]Message, n),
+		cnt:   make([]int32, n),
 		gen:   make([]uint32, n),
 		cur:   1,
 	}
@@ -40,18 +59,41 @@ func newPlane(ix *graph.EdgeIndex) *plane {
 func (p *plane) put(e int32, m Message) {
 	if p.gen[e] != p.cur {
 		p.gen[e] = p.cur
-		p.slots[e] = p.slots[e][:0]
+		p.cnt[e] = 1
+		p.first[e] = m
+		return
 	}
-	p.slots[e] = append(p.slots[e], m)
+	p.extraOnce.Do(p.growExtra)
+	if p.cnt[e] == 1 {
+		p.extra[e] = p.extra[e][:0] // first overflow write of the round truncates lazily
+	}
+	p.extra[e] = append(p.extra[e], m)
+	p.cnt[e]++
 }
 
-// fresh returns the messages written into slot e this round, in send order,
-// or nil if the slot was not written.
-func (p *plane) fresh(e int32) []Message {
+// growExtra allocates the overflow tier's headers (once per plane lifetime;
+// bucket capacities then persist across rounds like the old layout's did).
+func (p *plane) growExtra() {
+	p.extra = make([][]Message, len(p.first))
+}
+
+// appendFresh appends the messages written into slot e this round to dst in
+// send order and returns the extended slice plus their total accounted word
+// count; words is 0 iff the slot was not written this round.
+func (p *plane) appendFresh(e int32, dst []Message) (out []Message, words int) {
 	if p.gen[e] != p.cur {
-		return nil
+		return dst, 0
 	}
-	return p.slots[e]
+	m := p.first[e]
+	dst = append(dst, m)
+	words = m.words()
+	if k := p.cnt[e]; k > 1 {
+		for _, om := range p.extra[e][:k-1] {
+			dst = append(dst, om)
+			words += om.words()
+		}
+	}
+	return dst, words
 }
 
 // advance starts the next round's generation, logically clearing every slot.

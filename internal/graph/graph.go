@@ -17,7 +17,19 @@ import (
 )
 
 // NodeID identifies a node of a Graph. IDs are dense: 0..NumNodes()-1.
-type NodeID int
+//
+// NodeID is 32 bits wide: every node-indexed array of the hot path — the CSR
+// target array, the edge index's reverse slots, the CONGEST message plane's
+// endpoint fields — stores node identifiers at half the width of the previous
+// int representation, which is what lets 10⁷-node simulations fit in
+// commodity memory. Graphs are bounded by MaxNodes nodes and maxEdgeSlots
+// directed edge slots; the Builder enforces both bounds once, at graph
+// assembly, so no other layer needs a range check.
+type NodeID int32
+
+// MaxNodes is the largest node count a Graph supports: node IDs, CSR offsets
+// and directed edge slots are all 32-bit values.
+const MaxNodes = 1<<31 - 1
 
 // Edge is an undirected edge between two nodes. By convention U < V in
 // normalized form, but Edge values produced by callers are normalized lazily.
@@ -55,106 +67,186 @@ var (
 	ErrSelfLoop       = errors.New("graph: self-loop edges are not allowed")
 	ErrNodeOutOfRange = errors.New("graph: node index out of range")
 	ErrDuplicateEdge  = errors.New("graph: duplicate edge")
+	// ErrTooManyNodes and ErrTooManyEdges are the 32-bit node-plane overflow
+	// guards: they fire once, at graph assembly, when a graph would exceed
+	// MaxNodes nodes or maxEdgeSlots directed edge slots. Every downstream
+	// structure (CSR targets, edge-index slots, message endpoints) relies on
+	// this single guard to store node and slot indices in 32 bits.
+	ErrTooManyNodes = errors.New("graph: node count exceeds the 32-bit node plane (MaxNodes)")
+	ErrTooManyEdges = errors.New("graph: directed edge slots exceed the 32-bit node plane")
 )
 
-// Builder incrementally assembles a Graph. Edges are appended to a flat pair
-// list and finalized by Build with a counting-sort into CSR followed by a
-// per-node sort and dedupe — O(m log Δ) time, zero maps. The zero value is
-// not usable; use NewBuilder.
+// builderChunkEdges is the number of edges one builder chunk holds (8 MiB of
+// endpoint pairs). Chunks bound the builder's transient memory shape: Build
+// releases each chunk right after scattering it into the CSR arrays, so
+// finalization never holds the full unsorted edge list and the finished CSR
+// simultaneously.
+const builderChunkEdges = 1 << 20
+
+// Builder incrementally assembles a Graph. Appended edges are stored once
+// (8 bytes per edge) in fixed-size chunks, and per-node slot counts are
+// maintained incrementally, so Build can allocate the CSR arrays up front and
+// scatter chunk by chunk — releasing every chunk as soon as it is consumed —
+// followed by a per-node sort and dedupe: O(m log Δ) time, zero maps, and a
+// peak transient of one edge-pair copy instead of the former two. The zero
+// value is not usable; use NewBuilder.
 type Builder struct {
 	n      int
-	us, vs []NodeID // appended endpoint pairs; duplicates collapse at Build
+	chunks [][]int32 // appended endpoint pairs, interleaved u,v; released by Build
+	deg    []int32   // deg[i+1] counts node i's directed slots (duplicates included); nil until first AddEdge
+	slots  int       // total directed slots appended (2 per edge, duplicates included)
+	err    error     // sticky overflow state; AddEdge reports it, Build panics on it
+
+	// chunkEdges overrides builderChunkEdges in tests exercising chunk
+	// boundaries; 0 means the default.
+	chunkEdges int
 }
 
 // NewBuilder returns a Builder for a graph with n nodes and no edges.
+// A node count beyond MaxNodes poisons the builder: AddEdge returns
+// ErrTooManyNodes and Build panics with it.
 func NewBuilder(n int) *Builder {
 	if n < 0 {
 		n = 0
 	}
-	return &Builder{n: n}
+	b := &Builder{n: n}
+	if n > MaxNodes {
+		b.err = fmt.Errorf("%w: n=%d > %d", ErrTooManyNodes, n, MaxNodes)
+	}
+	return b
 }
 
-// Grow hints that about m further edges will be added, preallocating the
-// internal pair lists. Generators with known edge counts use it to emit the
-// CSR arrays without intermediate reallocation.
+// chunkCap returns the per-chunk edge capacity.
+func (b *Builder) chunkCap() int {
+	if b.chunkEdges > 0 {
+		return b.chunkEdges
+	}
+	return builderChunkEdges
+}
+
+// Grow hints that about m further edges will be added. With the chunked edge
+// store appends are already amortized O(1) and bounded at one chunk of
+// overallocation; Grow pre-sizes the tail chunk (up to the chunk capacity) so
+// generators with known edge counts below it avoid intermediate reallocation
+// entirely.
 func (b *Builder) Grow(m int) {
-	if m <= 0 {
+	if m <= 0 || b.err != nil {
 		return
 	}
-	if need := len(b.us) + m; need > cap(b.us) {
-		us := make([]NodeID, len(b.us), need)
-		copy(us, b.us)
-		b.us = us
-		vs := make([]NodeID, len(b.vs), need)
-		copy(vs, b.vs)
-		b.vs = vs
+	if m > b.chunkCap() {
+		m = b.chunkCap()
+	}
+	if len(b.chunks) == 0 {
+		b.chunks = append(b.chunks, make([]int32, 0, 2*m))
+		return
+	}
+	tail := b.chunks[len(b.chunks)-1]
+	if need := len(tail) + 2*m; need <= 2*b.chunkCap() && need > cap(tail) {
+		grown := make([]int32, len(tail), need)
+		copy(grown, tail)
+		b.chunks[len(b.chunks)-1] = grown
 	}
 }
 
 // NumNodes returns the number of nodes the builder was created with.
 func (b *Builder) NumNodes() int { return b.n }
 
-// AddEdge adds the undirected edge {u, v}. It returns an error for self-loops
-// and out-of-range endpoints. Adding an existing edge is a no-op (duplicates
-// are collapsed by Build).
+// Err returns the builder's sticky overflow error, if any: ErrTooManyNodes
+// from construction or ErrTooManyEdges once the appended edges exceed the
+// 32-bit slot space.
+func (b *Builder) Err() error { return b.err }
+
+// AddEdge adds the undirected edge {u, v}. It returns an error for
+// self-loops, out-of-range endpoints, and — sticky, see Err — when the graph
+// would exceed the 32-bit node plane. Adding an existing edge is a no-op
+// (duplicates are collapsed by Build).
 func (b *Builder) AddEdge(u, v NodeID) error {
+	if b.err != nil {
+		return b.err
+	}
 	if u == v {
 		return fmt.Errorf("%w: {%d,%d}", ErrSelfLoop, u, v)
 	}
 	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
 		return fmt.Errorf("%w: {%d,%d} with n=%d", ErrNodeOutOfRange, u, v, b.n)
 	}
-	b.us = append(b.us, u)
-	b.vs = append(b.vs, v)
+	if b.slots+2 > maxEdgeSlots {
+		b.err = fmt.Errorf("%w: %d directed slots > %d", ErrTooManyEdges, b.slots+2, maxEdgeSlots)
+		return b.err
+	}
+	if b.deg == nil {
+		b.deg = make([]int32, b.n+1)
+	}
+	// Chunks grow by append (small graphs never pay a full chunk) and are
+	// sealed at the chunk capacity, bounding both the per-append overshoot
+	// and the size of the pieces Build releases.
+	cc := 2 * b.chunkCap()
+	if len(b.chunks) == 0 || len(b.chunks[len(b.chunks)-1]) >= cc {
+		b.chunks = append(b.chunks, nil)
+	}
+	tail := len(b.chunks) - 1
+	b.chunks[tail] = append(b.chunks[tail], int32(u), int32(v))
+	b.deg[u+1]++
+	b.deg[v+1]++
+	b.slots += 2
 	return nil
 }
 
-// HasEdge reports whether the edge {u, v} has been added. It scans the pair
-// list (O(edges added)); it exists for tests and small fixtures, not for hot
-// paths.
+// HasEdge reports whether the edge {u, v} has been added. It scans the
+// chunked pair list (O(edges added)); it exists for tests and small fixtures,
+// not for hot paths.
 func (b *Builder) HasEdge(u, v NodeID) bool {
 	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
 		return false
 	}
-	for i := range b.us {
-		if (b.us[i] == u && b.vs[i] == v) || (b.us[i] == v && b.vs[i] == u) {
-			return true
+	for _, chunk := range b.chunks {
+		for i := 0; i+1 < len(chunk); i += 2 {
+			cu, cv := NodeID(chunk[i]), NodeID(chunk[i+1])
+			if (cu == u && cv == v) || (cu == v && cv == u) {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// Build finalizes the builder into an immutable Graph. Neighbor lists are
-// sorted so that iteration order is deterministic; duplicate edges collapse.
-// The builder stays usable (Build does not consume the pair list).
+// Build finalizes the pending edges into an immutable Graph. Neighbor lists
+// are sorted so that iteration order is deterministic; duplicate edges
+// collapse. Build consumes the edge list: each chunk is released as soon as
+// it has been scattered into the CSR arrays, so the full unsorted pair list
+// and the finished CSR never coexist (the transient peak is the chunk store
+// plus the CSR, decaying to the CSR alone as chunks free). Afterwards the
+// builder is empty and may be reused to assemble a new graph from scratch.
 func (b *Builder) Build() *Graph {
-	// Counting sort of the directed slots by source node.
-	deg := make([]int32, b.n+1)
-	for i := range b.us {
-		deg[b.us[i]+1]++
-		deg[b.vs[i]+1]++
+	if b.err != nil {
+		panic(b.err)
 	}
-	slots := 0
+	// The per-node slot counts were maintained by AddEdge; one prefix sum
+	// turns them into CSR offsets (reusing the allocation).
+	deg := b.deg
+	if deg == nil {
+		deg = make([]int32, b.n+1)
+	}
 	for i := 1; i <= b.n; i++ {
-		slots += int(deg[i])
-		if slots > maxEdgeSlots {
-			panic("graph: too many directed edges for a CSR graph")
-		}
 		deg[i] += deg[i-1]
 	}
-	off := deg // deg now holds the offsets; reuse the allocation
-	tgt := make([]NodeID, slots)
+	off := deg
+	tgt := make([]NodeID, b.slots)
 	pos := make([]int32, b.n)
-	for i := 0; i < b.n; i++ {
-		pos[i] = off[i]
+	copy(pos, off[:b.n])
+	for ci, chunk := range b.chunks {
+		for i := 0; i+1 < len(chunk); i += 2 {
+			u, v := chunk[i], chunk[i+1]
+			tgt[pos[u]] = NodeID(v)
+			pos[u]++
+			tgt[pos[v]] = NodeID(u)
+			pos[v]++
+		}
+		b.chunks[ci] = nil // release the chunk before the next one scatters
 	}
-	for i := range b.us {
-		u, v := b.us[i], b.vs[i]
-		tgt[pos[u]] = v
-		pos[u]++
-		tgt[pos[v]] = u
-		pos[v]++
-	}
+	b.chunks = nil
+	b.deg = nil // consumed (became off); a reused builder re-counts from zero
+	b.slots = 0
 	// Per-node sort + in-place dedupe, compacting the flat array as we go.
 	w := int32(0)
 	maxDeg := 0

@@ -4,17 +4,19 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
 	"d2color/internal/alg"
 	"d2color/internal/graph"
 	"d2color/internal/sweep"
+	"d2color/internal/verify"
 )
 
 // resetPeakRSS resets the kernel's resident-set high-water mark (writing 5
-// to /proc/self/clear_refs), so the VmHWM read after a workload point
-// reflects that point alone. It reports whether the reset took effect;
+// to /proc/self/clear_refs), so the VmHWM read after a workload cell
+// reflects that cell alone. It reports whether the reset took effect;
 // where it does not (non-Linux, locked-down /proc), VmHWM readings are
 // monotone over the process lifetime — E11 runs its points in ascending
 // size order so the readings stay meaningful even then.
@@ -54,127 +56,147 @@ func rssString(mb float64) string {
 	return fmt.Sprintf("%.0f", mb)
 }
 
+// bytesPerNodeString converts a peak-RSS reading into resident bytes per
+// node, the scale experiment's memory-diet figure of merit.
+func bytesPerNodeString(mb float64, n int) string {
+	if mb <= 0 || n <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f", mb*1024*1024/float64(n))
+}
+
 // unitDiskRadius returns the radius giving an expected average degree of
 // avgDeg on n uniform points (E[deg] ≈ n·π·r², ignoring boundary effects).
 func unitDiskRadius(n int, avgDeg float64) float64 {
 	return math.Sqrt(avgDeg / (math.Pi * float64(n)))
 }
 
-// runE11 is the million-node scale experiment the word-parallel palette
-// kernels unlock: sparse GNP and unit-disk workloads at n up to 10⁶, colored
-// by the sequential greedy floor and the simulated (1+ε)Δ² relaxed
-// algorithm, with throughput (nodes colored per wall second) and peak-RSS
-// columns. Unlike E1–E10 the wall-clock and RSS columns are inherently
-// machine- and scheduling-dependent — the experiment is registered Volatile
-// and excluded from byte-identity comparisons; the n/m/Δ/palette/colors
-// columns remain deterministic per seed.
+// runE11 is the scale experiment the word-parallel palette kernels and the
+// 32-bit node plane unlock: sparse GNP and unit-disk workloads at n up to
+// 10⁷, colored by the sequential greedy floor and the simulated (1+ε)Δ²
+// relaxed algorithm, with throughput (nodes colored per wall second),
+// peak-RSS and resident-bytes-per-node columns. Unlike E1–E10 the
+// wall-clock and RSS columns are inherently machine- and
+// scheduling-dependent — the experiment is registered Volatile and excluded
+// from byte-identity comparisons; the n/m/Δ/palette/colors columns remain
+// deterministic per seed.
 //
-// The workload points run strictly sequentially in ascending size (one
-// single-point sweep each, Jobs forced to 1), so per-row wall clocks are
-// unshared and the monotone VmHWM reading after each point reflects that
-// point's footprint.
+// Every (point, algorithm, engine) cell runs as its own single-cell sweep
+// (Jobs forced to 1) with the point's graph built once and shared: before
+// each cell the heap is scavenged (debug.FreeOSMemory) and the VmHWM
+// high-water mark reset, so each row's peak RSS covers the resident graph
+// plus that cell's kernel alone. Colorings are produced bit-packed
+// (sweep.Spec.PackedColors) and every sample is re-verified distance-2
+// valid outside the timed region — round-count validation at true scale.
 func runE11(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "E11",
-		Title: "Million-node scale: throughput and memory of the bitset palette kernels",
-		Claim: "ROADMAP north star: the palette kernels keep sparse workloads at n = 10⁶ within commodity memory and color them at millions of nodes per second (greedy) / simulated CONGEST at scale (relaxed)",
+		Title: "Scale ceiling: throughput and memory of the packed 32-bit kernels up to n = 10⁷",
+		Claim: "ROADMAP north star: the 32-bit node plane and bit-packed colorings keep sparse workloads at n = 10⁷ within commodity memory while coloring millions of nodes per second (greedy) / simulating every CONGEST message at scale (relaxed)",
 		Columns: []string{"workload", "n", "m", "Δ", "algorithm", "engine", "palette", "colors used",
-			"wall s", "colors/s", "peak RSS MiB"},
+			"wall s", "colors/s", "peak RSS MiB", "B/node"},
 	}
 	type scalePoint struct {
-		name string
-		n    int
-		p    sweep.Point
-	}
-	mk := func(name string, n int, build func() (*graph.Graph, string, error)) scalePoint {
-		return scalePoint{name: name, n: n, p: sweep.Point{Label: name, Build: build}}
+		name  string
+		n     int
+		build func() (*graph.Graph, error)
 	}
 	gnp := func(n int) scalePoint {
-		return mk(fmt.Sprintf("gnp(avg deg 8, n=%d)", n), n, func() (*graph.Graph, string, error) {
-			return graph.GNPWithAverageDegree(n, 8, int64(cfg.Seed)+int64(n)), "", nil
-		})
+		return scalePoint{name: fmt.Sprintf("gnp(avg deg 8, n=%d)", n), n: n, build: func() (*graph.Graph, error) {
+			return graph.GNPWithAverageDegree(n, 8, int64(cfg.Seed)+int64(n)), nil
+		}}
 	}
 	disk := func(n int) scalePoint {
 		r := unitDiskRadius(n, 8)
-		return mk(fmt.Sprintf("unitdisk(r=%.2g, n=%d)", r, n), n, func() (*graph.Graph, string, error) {
-			return graph.UnitDisk(n, r, int64(cfg.Seed)+int64(n)+1), "", nil
-		})
+		return scalePoint{name: fmt.Sprintf("unitdisk(r=%.2g, n=%d)", r, n), n: n, build: func() (*graph.Graph, error) {
+			return graph.UnitDisk(n, r, int64(cfg.Seed)+int64(n)+1), nil
+		}}
 	}
-	points := []scalePoint{gnp(100_000), disk(100_000), gnp(1_000_000), disk(1_000_000)}
+	points := []scalePoint{gnp(100_000), disk(100_000), gnp(1_000_000), disk(1_000_000), gnp(10_000_000)}
 	if cfg.Quick {
 		// The short-mode smoke: the same pipeline at n = 50k, small enough
 		// for CI to exercise the scale path on every push.
 		points = []scalePoint{gnp(50_000), disk(50_000)}
 	}
 
-	// Two sub-sweeps per point: greedy is a zero-communication sequential
-	// scan (no engine to vary), while the simulated relaxed algorithm runs on
-	// the engine axis — the sequential reference and the pooled sharded
-	// engine, the pair the ISSUE 6 multicore gate compares at this scale.
-	// All engines are byte-deterministic, so the sharded row may only differ
-	// in the wall-clock columns.
-	batches := []struct {
-		algs    []sweep.AlgAxis
-		engines []sweep.EngineAxis
-	}{
-		{
-			algs:    []sweep.AlgAxis{{Alg: alg.MustGet("greedy"), Reps: 1}},
-			engines: []sweep.EngineAxis{{Name: "sequential"}},
-		},
-		{
-			algs: []sweep.AlgAxis{{Alg: alg.MustGet("relaxed"), Reps: 1}},
-			engines: []sweep.EngineAxis{
-				{Name: "sequential"},
-				{Name: "sharded", Engine: alg.Engine{Parallel: true}},
-			},
-		},
+	// Greedy is a zero-communication sequential scan (no engine to vary);
+	// the simulated relaxed algorithm runs on the engine axis — the
+	// sequential reference and the pooled sharded engine, the pair the
+	// ISSUE 6 multicore gate compares at this scale. All engines are
+	// byte-deterministic, so the sharded row may only differ in the
+	// wall-clock columns. At n = 10⁷ the engine axis is restricted to
+	// sequential: the sharded row would re-answer a question the 10⁶ points
+	// already answer, at ten times the wall-clock.
+	type cellSpec struct {
+		algName string
+		engine  sweep.EngineAxis
 	}
-	perPointRSS := true
-	for _, sp := range points {
-		perPointRSS = resetPeakRSS() && perPointRSS
-		type rowCell struct {
-			c      *sweep.Cell
-			engine string
+	cellsFor := func(n int) []cellSpec {
+		cells := []cellSpec{
+			{"greedy", sweep.EngineAxis{Name: "sequential"}},
+			{"relaxed", sweep.EngineAxis{Name: "sequential"}},
 		}
-		var cells []rowCell
-		for _, batch := range batches {
+		if n <= 1_000_000 {
+			cells = append(cells, cellSpec{"relaxed", sweep.EngineAxis{Name: "sharded", Engine: alg.Engine{Parallel: true}}})
+		}
+		return cells
+	}
+
+	perCellRSS := true
+	for _, sp := range points {
+		g, err := sp.build()
+		if err != nil {
+			return nil, err
+		}
+		pt := sweep.Point{Label: sp.name, Build: func() (*graph.Graph, string, error) { return g, "", nil }}
+		for _, cs := range cellsFor(sp.n) {
+			// Scavenge the previous cell's garbage back to the OS before
+			// resetting the high-water mark, so this cell's reading starts
+			// from the resident graph rather than dead kernel pages.
+			debug.FreeOSMemory()
+			perCellRSS = resetPeakRSS() && perCellRSS
 			spec := sweep.Spec{
-				Name:       "E11/" + sp.name,
-				Points:     []sweep.Point{sp.p},
-				Algorithms: batch.algs,
-				Engines:    batch.engines,
-				Seed:       cfg.Seed,
+				Name:         "E11/" + sp.name,
+				Points:       []sweep.Point{pt},
+				Algorithms:   []sweep.AlgAxis{{Alg: alg.MustGet(cs.algName), Reps: 1}},
+				Engines:      []sweep.EngineAxis{cs.engine},
+				Seed:         cfg.Seed,
+				PackedColors: true,
 			}
 			grid, err := sweep.Run(spec, sweep.Options{Jobs: 1})
 			if err != nil {
 				return nil, err
 			}
 			t.Elapsed += grid.Elapsed
-			for ei := range batch.engines {
-				cells = append(cells, rowCell{grid.Cell(0, 0, ei), batch.engines[ei].Name})
+			rss := peakRSSMB()
+			c := grid.Cell(0, 0, 0)
+			if c.Sample == nil || c.Sample.Packed == nil {
+				return nil, fmt.Errorf("E11 %s/%s: sweep returned no packed sample coloring", sp.name, cs.algName)
 			}
-		}
-		rss := peakRSSMB()
-		for _, rc := range cells {
-			c, g := rc.c, rc.c.G
+			if err := verify.CheckD2Packed(g, c.Sample.Packed, c.Sample.PaletteSize).Error(); err != nil {
+				return nil, fmt.Errorf("E11 %s/%s/%s: sample coloring failed distance-2 verification: %w",
+					sp.name, cs.algName, cs.engine.Name, err)
+			}
 			secs := c.Mean(sweep.MeasureSeconds)
 			throughput := 0.0
 			if secs > 0 {
 				throughput = float64(g.NumNodes()) / secs
 			}
 			t.AddRow(c.Label, itoa(g.NumNodes()), itoa(g.NumEdges()), itoa(g.MaxDegree()),
-				c.Alg.Name(), rc.engine, itoa(c.Alg.PaletteBound(g)),
+				c.Alg.Name(), cs.engine.Name, itoa(c.Alg.PaletteBound(g)),
 				itoa(int(c.Mean(sweep.MeasureColors))),
-				fmt.Sprintf("%.2f", secs), fmt.Sprintf("%.0f", throughput), rssString(rss))
+				fmt.Sprintf("%.2f", secs), fmt.Sprintf("%.0f", throughput),
+				rssString(rss), bytesPerNodeString(rss, g.NumNodes()))
 		}
 	}
-	if perPointRSS {
-		t.AddNote("points run sequentially; the RSS high-water mark (VmHWM) is reset via /proc/self/clear_refs before each point, so every reading reflects that point alone")
+	if perCellRSS {
+		t.AddNote("cells run sequentially; the heap is scavenged and the RSS high-water mark (VmHWM) reset via /proc/self/clear_refs before each cell, so every peak-RSS/B-per-node reading covers the resident graph plus that cell's kernel alone")
 	} else {
-		t.AddNote("points run sequentially in ascending size; the platform does not allow resetting VmHWM, so each peak-RSS reading is the monotone process high-water mark up to that point")
+		t.AddNote("cells run sequentially in ascending size; the platform does not allow resetting VmHWM, so each peak-RSS reading is the monotone process high-water mark up to that cell")
 	}
-	t.AddNote("wall-clock and RSS columns are machine-dependent (the experiment is excluded from byte-identity checks); n, m, Δ, palette and colors are deterministic per seed")
+	t.AddNote("wall-clock, RSS and B/node columns are machine-dependent (the experiment is excluded from byte-identity checks); n, m, Δ, palette and colors are deterministic per seed")
+	t.AddNote("colorings are produced bit-packed (⌈log₂(palette+1)⌉ bits per node) and every sample is re-verified distance-2 valid by the packed checker outside the timed region")
 	t.AddNote("relaxed simulates every CONGEST message of the (1+ε)Δ² trial algorithm; greedy is the zero-communication sequential floor")
-	t.AddNote("engine axis (relaxed rows): sequential vs the pooled sharded engine at GOMAXPROCS workers; the engines are byte-identical, so only the wall-clock columns may differ")
+	t.AddNote("engine axis (relaxed rows): sequential vs the pooled sharded engine at GOMAXPROCS workers; the engines are byte-identical, so only the wall-clock columns may differ. The n = 10⁷ point runs sequential-only to bound single-run wall-clock")
 	return t, nil
 }

@@ -57,7 +57,7 @@ func TestE11Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	volatile := map[int]bool{col("wall s"): true, col("colors/s"): true, col("peak RSS MiB"): true}
+	volatile := map[int]bool{col("wall s"): true, col("colors/s"): true, col("peak RSS MiB"): true, col("B/node"): true}
 	for ri := range table.Rows {
 		for ci := range table.Columns {
 			if volatile[ci] {

@@ -93,6 +93,12 @@ type Spec struct {
 	// called once per repetition, possibly concurrently across cells but
 	// never concurrently for one cell.
 	Observe func(rep int, res *alg.Result, rec *Recorder)
+	// PackedColors asks every cell's engine for bit-packed colorings
+	// (alg.Engine.PackedColors): results of adapters with a packed path carry
+	// ⌈log₂(palette+1)⌉ bits/node instead of 8 bytes — the switch the scale
+	// experiments flip so a 10⁷-node cell's resident output stays small.
+	// Colors (and all aggregates) are byte-identical either way.
+	PackedColors bool
 }
 
 // Agg is a streaming aggregate over one measure: count, sum, min, max and a
@@ -355,6 +361,7 @@ func Run(spec Spec, opts Options) (*Grid, error) {
 		// and the cell closes it on the way out (parking the sharded
 		// engine's worker team — cells must not leak pooled goroutines).
 		eng := engines[ei].Engine
+		eng.PackedColors = eng.PackedColors || spec.PackedColors
 		var tk *trial.Runner
 		eng.Kernel = func() *trial.Runner {
 			if tk == nil {
@@ -378,7 +385,7 @@ func Run(spec Spec, opts Options) (*Grid, error) {
 				return
 			}
 			c.rec.Add(MeasureRounds, float64(res.Metrics.TotalRounds()))
-			c.rec.Add(MeasureColors, float64(res.Coloring.NumColorsUsed()))
+			c.rec.Add(MeasureColors, float64(res.ColorsUsed()))
 			c.rec.Add(MeasureSeconds, repElapsed.Seconds())
 			if spec.Observe != nil {
 				spec.Observe(rep, &res, &c.rec)

@@ -80,12 +80,16 @@ func TestKnownTierSelection(t *testing.T) {
 	if !r2.useBitset {
 		t.Fatal("sparse GNP under a Δ² palette should use the bitset tier")
 	}
-	// The predicate itself: bitset iff rows fit in the flat-array budget.
+	// The predicate itself, in bytes: bitset iff 8·n·words stays within
+	// twice the 4·(n+slots) flat-array budget.
 	if knownTierIsBitset(1000, 8000, 1000) {
 		t.Error("1000 nodes × 1000 words must not pick the bitset tier over 8000 slots")
 	}
-	if !knownTierIsBitset(1000, 8000, 16) {
-		t.Error("16 words per row fits the budget and must pick the bitset tier")
+	if !knownTierIsBitset(1000, 8000, 8) {
+		t.Error("8 words per row fits the byte budget and must pick the bitset tier")
+	}
+	if knownTierIsBitset(1000, 8000, 16) {
+		t.Error("16 words per row is 128 KB of rows against a 36 KB flat budget; must fall back to the sorted tier")
 	}
 	_ = bitset.WordsFor // keep the import meaningful if assertions change
 }

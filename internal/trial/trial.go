@@ -115,11 +115,21 @@ type Config struct {
 	// Initial is an optional partial coloring to start from; nodes already
 	// colored in it never participate. It is not modified.
 	Initial coloring.Coloring
+	// PackedOutput makes Run assemble the result bit-packed
+	// (Result.Packed set, Result.Coloring nil): ⌈log₂(palette+1)⌉ bits/node
+	// instead of 8 bytes, the representation the 10⁷-node scale runs keep.
+	// The colors themselves are byte-identical to the unpacked run.
+	PackedOutput bool
 }
 
 // Result reports the outcome of a trial run.
 type Result struct {
+	// Coloring is the assignment as a plain []int; nil when the run asked for
+	// packed output.
 	Coloring coloring.Coloring
+	// Packed is the bit-packed assignment, set instead of Coloring when
+	// Config.PackedOutput was requested (or FinishPacked called).
+	Packed   *coloring.Packed
 	Phases   int
 	Metrics  congest.Metrics
 	Complete bool
@@ -374,13 +384,16 @@ func (r *Runner) Start(cfg Config) error {
 }
 
 // knownTierIsBitset selects the known-colors representation for a run: the
-// palette bitset rows unless their n·words footprint would exceed a small
-// multiple of the O(n + slots) flat-array budget every other kernel
-// structure lives in (degenerate palette ≫ degree topologies). The choice
+// palette bitset rows unless their footprint would exceed twice the flat
+// per-slot budget. The comparison is in bytes — the rows cost 8·n·words
+// bytes, the sorted-prefix tier 4·(n + slots) (numKnown plus the int32 slot
+// regions every other kernel structure is already sized by) — so wide
+// palettes on sparse graphs (a (1+ε)Δ² palette at avg degree 8) fall back to
+// the prefix tier instead of dominating the kernel's residency. The choice
 // is a pure function of topology and palette, so it can never make two runs
-// diverge.
+// diverge; both tiers are byte-identical in results.
 func knownTierIsBitset(n, slots, words int) bool {
-	return n*words <= 4*(n+slots)
+	return 8*n*words <= 2*4*(n+slots)
 }
 
 // knownRow returns node v's palette bitset of colors known used by a
@@ -423,6 +436,30 @@ func (r *Runner) Finish() Result {
 	return Result{Coloring: out, Phases: r.phases, Metrics: r.net.Metrics(), Complete: complete}
 }
 
+// FinishPacked assembles the Result with the coloring bit-packed instead of
+// []int — the only allocation is the ⌈log₂(palette+1)⌉-bits/node backing.
+// The packing palette covers every color present (Config.Initial may carry
+// colors above Config.PaletteSize), so the pack never truncates.
+func (r *Runner) FinishPacked() Result {
+	n := r.g.NumNodes()
+	packPalette := int32(r.palette)
+	complete := true
+	for v := 0; v < n; v++ {
+		if c := r.color[v]; c == uncolored {
+			complete = false
+		} else if c >= packPalette {
+			packPalette = c + 1
+		}
+	}
+	out := coloring.NewPacked(n, int(packPalette))
+	for v := 0; v < n; v++ {
+		if c := r.color[v]; c != uncolored {
+			out.Set(graph.NodeID(v), int(c))
+		}
+	}
+	return Result{Packed: out, Phases: r.phases, Metrics: r.net.Metrics(), Complete: complete}
+}
+
 // Run executes trial phases until the coloring is complete or the phase
 // budget is exhausted. It may be called repeatedly with different configs;
 // each call behaves exactly like a fresh run on a fresh network.
@@ -441,7 +478,12 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 	for r.phases < maxPhases && !r.Complete() {
 		r.Phase()
 	}
-	res := r.Finish()
+	var res Result
+	if cfg.PackedOutput {
+		res = r.FinishPacked()
+	} else {
+		res = r.Finish()
+	}
 	if !res.Complete && !capped {
 		res.BudgetExhausted = true
 		return res, fmt.Errorf("%w (%d phases, %d nodes uncolored)",

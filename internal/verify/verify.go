@@ -113,6 +113,15 @@ func (ch *Checker) resetSlow() {
 
 var checkerPool = sync.Pool{New: func() any { return NewChecker() }}
 
+// colorView is the read access the checks need; coloring.Coloring and
+// *coloring.Packed both satisfy it. The checks are generic over it as a type
+// parameter — not an interface value — so neither backing is boxed and the
+// warmed passes stay allocation-free.
+type colorView interface {
+	Len() int
+	Get(v graph.NodeID) int
+}
+
 // CheckD2 verifies that c is a complete, valid distance-2 coloring of g with
 // all colors inside [0, paletteSize). Pass paletteSize <= 0 to skip the
 // palette bound check.
@@ -140,40 +149,76 @@ func CheckPartialD2(g *graph.Graph, c coloring.Coloring) Report {
 	return ch.CheckPartialD2(g, c)
 }
 
+// CheckD2Packed is CheckD2 over a bit-packed coloring, without unpacking it.
+func CheckD2Packed(g *graph.Graph, c *coloring.Packed, paletteSize int) Report {
+	ch := checkerPool.Get().(*Checker)
+	defer checkerPool.Put(ch)
+	return ch.CheckD2Packed(g, c, paletteSize)
+}
+
+// CheckD1Packed is CheckD1 over a bit-packed coloring.
+func CheckD1Packed(g *graph.Graph, c *coloring.Packed, paletteSize int) Report {
+	ch := checkerPool.Get().(*Checker)
+	defer checkerPool.Put(ch)
+	return ch.CheckD1Packed(g, c, paletteSize)
+}
+
 // CheckD2 is the Checker-scoped form of the package-level CheckD2.
 func (ch *Checker) CheckD2(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
-	return ch.check(g, c, paletteSize, true)
+	return check(ch, g, c, paletteSize, true)
 }
 
 // CheckD1 is the Checker-scoped form of the package-level CheckD1.
 func (ch *Checker) CheckD1(g *graph.Graph, c coloring.Coloring, paletteSize int) Report {
-	return ch.check(g, c, paletteSize, false)
+	return check(ch, g, c, paletteSize, false)
+}
+
+// CheckD2Packed is the Checker-scoped form of the package-level CheckD2Packed.
+func (ch *Checker) CheckD2Packed(g *graph.Graph, c *coloring.Packed, paletteSize int) Report {
+	return check(ch, g, c, paletteSize, true)
+}
+
+// CheckD1Packed is the Checker-scoped form of the package-level CheckD1Packed.
+func (ch *Checker) CheckD1Packed(g *graph.Graph, c *coloring.Packed, paletteSize int) Report {
+	return check(ch, g, c, paletteSize, false)
 }
 
 // CheckPartialD2 is the Checker-scoped form of the package-level
 // CheckPartialD2.
 func (ch *Checker) CheckPartialD2(g *graph.Graph, c coloring.Coloring) Report {
+	return checkPartial(ch, g, c)
+}
+
+// CheckPartialD2Packed is CheckPartialD2 over a bit-packed coloring.
+func (ch *Checker) CheckPartialD2Packed(g *graph.Graph, c *coloring.Packed) Report {
+	return checkPartial(ch, g, c)
+}
+
+// checkPartial and check are generic free functions rather than Checker
+// methods only because Go methods cannot take type parameters; the Checker
+// still owns all scratch.
+func checkPartial[C colorView](ch *Checker, g *graph.Graph, c C) Report {
 	rep := Report{Valid: true}
-	if len(c) != g.NumNodes() {
+	if c.Len() != g.NumNodes() {
 		rep.addViolation(Violation{Kind: "palette", U: -1, V: -1,
-			Info: fmt.Sprintf("coloring has %d entries for %d nodes", len(c), g.NumNodes())})
+			Info: fmt.Sprintf("coloring has %d entries for %d nodes", c.Len(), g.NumNodes())})
 		return rep
 	}
-	limit, maxColor := ch.prepare(c)
-	ch.checkConflicts(g, c, limit, true, &rep)
-	ch.fillColorStats(c, limit, maxColor, &rep)
+	limit, maxColor := prepare(ch, c)
+	checkConflicts(ch, g, c, limit, true, &rep)
+	fillColorStats(ch, c, limit, maxColor, &rep)
 	return rep
 }
 
-func (ch *Checker) check(g *graph.Graph, c coloring.Coloring, paletteSize int, dist2 bool) Report {
+func check[C colorView](ch *Checker, g *graph.Graph, c C, paletteSize int, dist2 bool) Report {
 	rep := Report{Valid: true}
-	if len(c) != g.NumNodes() {
+	if c.Len() != g.NumNodes() {
 		rep.addViolation(Violation{Kind: "palette", U: -1, V: -1,
-			Info: fmt.Sprintf("coloring has %d entries for %d nodes", len(c), g.NumNodes())})
+			Info: fmt.Sprintf("coloring has %d entries for %d nodes", c.Len(), g.NumNodes())})
 		return rep
 	}
 	for u := 0; u < g.NumNodes(); u++ {
-		col := c[u]
+		col := c.Get(graph.NodeID(u))
 		if col == coloring.Uncolored {
 			rep.addViolation(Violation{Kind: "uncolored", U: graph.NodeID(u), V: -1, Info: "node has no color"})
 			continue
@@ -183,9 +228,9 @@ func (ch *Checker) check(g *graph.Graph, c coloring.Coloring, paletteSize int, d
 				Info: fmt.Sprintf("color %d outside palette [0,%d)", col, paletteSize)})
 		}
 	}
-	limit, maxColor := ch.prepare(c)
-	ch.checkConflicts(g, c, limit, dist2, &rep)
-	ch.fillColorStats(c, limit, maxColor, &rep)
+	limit, maxColor := prepare(ch, c)
+	checkConflicts(ch, g, c, limit, dist2, &rep)
+	fillColorStats(ch, c, limit, maxColor, &rep)
 	return rep
 }
 
@@ -194,14 +239,16 @@ func (ch *Checker) check(g *graph.Graph, c coloring.Coloring, paletteSize int, d
 // fused pass: any color in [0, denseColorLimit) is below the final limit
 // (limit = min(maxColor+1, denseColorLimit) and the color is ≤ maxColor), so
 // the conversion can use the fixed cap while the same loop finds maxColor.
-func (ch *Checker) prepare(c coloring.Coloring) (limit, maxColor int) {
-	if cap(ch.colors) < len(c) {
-		ch.colors = make([]int32, len(c))
+func prepare[C colorView](ch *Checker, c C) (limit, maxColor int) {
+	n := c.Len()
+	if cap(ch.colors) < n {
+		ch.colors = make([]int32, n)
 	} else {
-		ch.colors = ch.colors[:len(c)]
+		ch.colors = ch.colors[:n]
 	}
 	maxColor = -1
-	for i, col := range c {
+	for i := 0; i < n; i++ {
+		col := c.Get(graph.NodeID(i))
 		if col > maxColor {
 			maxColor = col
 		}
@@ -238,7 +285,7 @@ func (ch *Checker) slowSeen(cx int, x graph.NodeID) (graph.NodeID, bool) {
 // checkConflicts finds colored node pairs at distance 1 (and, if dist2, also
 // distance 2) sharing a color. prepare must have run for this coloring: the
 // scan reads the cache-dense int32 scratch instead of the []int original.
-func (ch *Checker) checkConflicts(g *graph.Graph, c coloring.Coloring, limit int, dist2 bool, rep *Report) {
+func checkConflicts[C colorView](ch *Checker, g *graph.Graph, c C, limit int, dist2 bool, rep *Report) {
 	colors := ch.colors
 	if !dist2 {
 		for u := 0; u < g.NumNodes(); u++ {
@@ -248,9 +295,9 @@ func (ch *Checker) checkConflicts(g *graph.Graph, c coloring.Coloring, limit int
 			}
 			for _, v := range g.Neighbors(graph.NodeID(u)) {
 				// Two slow markers only match when the real colors do.
-				if int(v) > u && colors[v] == cu && (cu != slowColor || c[v] == c[u]) {
+				if int(v) > u && colors[v] == cu && (cu != slowColor || c.Get(v) == c.Get(graph.NodeID(u))) {
 					rep.addViolation(Violation{Kind: "conflict-d1", U: graph.NodeID(u), V: v,
-						Info: fmt.Sprintf("both have color %d", c[u])})
+						Info: fmt.Sprintf("both have color %d", c.Get(graph.NodeID(u)))})
 				}
 			}
 		}
@@ -270,7 +317,7 @@ func (ch *Checker) checkConflicts(g *graph.Graph, c coloring.Coloring, limit int
 		if cw := colors[w]; cw >= 0 {
 			ch.seen.Set(int(cw))
 		} else if cw == slowColor {
-			ch.slowSeen(c[w], graph.NodeID(w))
+			ch.slowSeen(c.Get(graph.NodeID(w)), graph.NodeID(w))
 		}
 		for i, x := range nbrs {
 			cx := colors[x]
@@ -285,15 +332,15 @@ func (ch *Checker) checkConflicts(g *graph.Graph, c coloring.Coloring, limit int
 					// former seenBy table stored).
 					if prev, ok := ch.firstHolder(graph.NodeID(w), nbrs[:i], cx); ok && prev != x {
 						rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
-							Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", c[x], w)})
+							Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", c.Get(x), w)})
 					}
 				}
 				continue
 			}
-			if prev, dup := ch.slowSeen(c[x], x); dup {
+			if prev, dup := ch.slowSeen(c.Get(x), x); dup {
 				if prev != x {
 					rep.addViolation(Violation{Kind: "conflict-d2", U: prev, V: x,
-						Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", c[x], w)})
+						Info: fmt.Sprintf("share color %d within the closed neighborhood of %d", c.Get(x), w)})
 				}
 			}
 		}
@@ -318,7 +365,7 @@ func (ch *Checker) firstHolder(w graph.NodeID, prefix []graph.NodeID, cx int32) 
 // pass over a plain bitset row plus one popcount, instead of a per-call map;
 // negative sentinels other than Uncolored count as distinct colors, matching
 // Coloring.NumColorsUsed. prepare must have run for this coloring.
-func (ch *Checker) fillColorStats(c coloring.Coloring, limit, maxColor int, rep *Report) {
+func fillColorStats[C colorView](ch *Checker, c C, limit, maxColor int, rep *Report) {
 	rep.MaxColor = maxColor
 	words := bitset.WordsFor(limit)
 	if cap(ch.statsRow) < words {
@@ -332,7 +379,7 @@ func (ch *Checker) fillColorStats(c coloring.Coloring, limit, maxColor int, rep 
 		if col >= 0 {
 			ch.statsRow.Set(int(col))
 		} else if col == slowColor {
-			ch.slowSeen(c[i], 0)
+			ch.slowSeen(c.Get(graph.NodeID(i)), 0)
 		}
 	}
 	rep.ColorsUsed = ch.statsRow.Count() + len(ch.slow)
