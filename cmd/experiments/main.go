@@ -1,8 +1,9 @@
-// Command experiments regenerates the experiment tables E1–E11 described in
-// EXPERIMENTS.md: E1–E10 reproduce the quantitative claims of the paper, and
-// E11 is the million-node scale experiment (wall-clock, throughput and
-// peak-RSS columns; inherently machine-dependent, hence excluded from
-// byte-identity guarantees). The sweeps are executed by the declarative grid
+// Command experiments regenerates the experiment tables E1–E12 described in
+// EXPERIMENTS.md: E1–E10 reproduce the quantitative claims of the paper,
+// E11 is the million-node scale experiment, and E12 is the churn-tolerance
+// experiment (incremental repair vs full rerun under fault epochs). E11 and
+// E12 carry wall-clock/throughput/peak-RSS columns that are inherently
+// machine-dependent, hence excluded from byte-identity guarantees. The sweeps are executed by the declarative grid
 // engine (internal/sweep): every workload × algorithm × engine cell fans out
 // over -jobs workers, and the generated tables are byte-identical for every
 // -jobs value up to the self-profiling wall-clock note each one ends with.

@@ -40,12 +40,20 @@ type Engine interface {
 	ChargeRounds(k int)
 	// AllHalted reports whether every node with a process has halted.
 	AllHalted() bool
+	// SetActive installs a partial-activation mask: nodes with mask[v] false
+	// neither step nor receive (nil = all active). Partial activation is
+	// RunRounds-driven; Run and AllHalted ignore inactive nodes. See
+	// faults.go for the full contract.
+	SetActive(mask []bool)
+	// SetFaults installs a fault model (message drops, transient crashes)
+	// for subsequent rounds; nil disables injection.
+	SetFaults(f FaultModel)
 	// Reset rewinds the engine to round 0 with per-node randomness re-seeded
 	// from seed, keeping the installed processes, the ID assignment and every
 	// pooled buffer — on the sharded engine that includes the worker team and
-	// the shard plan, which survive any number of Resets. A reset engine is
-	// byte-identical to a freshly constructed one with the same topology,
-	// processes and seed.
+	// the shard plan, which survive any number of Resets. The activation mask
+	// and fault model are cleared. A reset engine is byte-identical to a
+	// freshly constructed one with the same topology, processes and seed.
 	Reset(seed uint64)
 	// Close releases engine resources; for the sharded engine it parks the
 	// persistent worker team (idempotent, never blocks on a pending round —
@@ -89,8 +97,9 @@ func (e *sequentialEngine) RunRounds(k int) {
 // step executes one synchronous round: compute, account, deliver, advance.
 func (e *sequentialEngine) step() {
 	c := &e.engineCore
+	faulty := c.active != nil || c.faults != nil
 	for v := range c.procs {
-		if c.procs[v] == nil || c.halted[v] {
+		if c.procs[v] == nil || c.halted[v] || (faulty && c.skipped(v)) {
 			continue
 		}
 		c.halted[v] = c.procs[v].Step(&c.ctxs[v], c.round, c.inboxes[v])
@@ -231,8 +240,9 @@ func (e *shardedEngine) computePhase(w int) {
 
 func (e *shardedEngine) computeChunk(lo, hi int32) {
 	c := &e.engineCore
+	faulty := c.active != nil || c.faults != nil
 	for v := lo; v < hi; v++ {
-		if c.procs[v] == nil || c.halted[v] {
+		if c.procs[v] == nil || c.halted[v] || (faulty && c.skipped(int(v))) {
 			continue
 		}
 		c.halted[v] = c.procs[v].Step(&c.ctxs[v], c.round, c.inboxes[v])

@@ -1,0 +1,200 @@
+package congest
+
+import (
+	"testing"
+
+	"d2color/internal/graph"
+	"d2color/internal/rng"
+)
+
+// hashFaults is a minimal deterministic FaultModel for engine tests: drop
+// decisions and crash windows are pure hashes of (seed, round, slot/node), so
+// sequential and sharded engines — which consult the model in different
+// orders — must still agree byte-for-byte.
+type hashFaults struct {
+	seed      uint64
+	dropP     float64
+	crashP    float64
+	crashFrom int
+	crashTo   int
+}
+
+func (f *hashFaults) DropMessage(round int, slot int32) bool {
+	var s rng.Source
+	s.ResetSplit(f.seed^0xD509, uint64(round)<<32|uint64(uint32(slot)))
+	return s.Float64() < f.dropP
+}
+
+func (f *hashFaults) Crashed(round int, v graph.NodeID) bool {
+	if round < f.crashFrom || round >= f.crashTo {
+		return false
+	}
+	var s rng.Source
+	s.ResetSplit(f.seed^0xC4A54, uint64(v))
+	return s.Float64() < f.crashP
+}
+
+// runDigestRounds runs the digest protocol for a fixed round count with an
+// optional activation mask and fault model installed.
+func runDigestRounds(t *testing.T, g *graph.Graph, cfg Config, rounds int, mask []bool, f FaultModel) ([]uint64, Metrics) {
+	t.Helper()
+	net := New(g, cfg)
+	defer net.Close()
+	procs := make([]*digestProcess, g.NumNodes())
+	net.SetProcesses(func(v graph.NodeID) Process {
+		procs[v] = &digestProcess{rounds: rounds}
+		return procs[v]
+	})
+	net.SetActive(mask)
+	net.SetFaults(f)
+	net.RunRounds(rounds)
+	out := make([]uint64, len(procs))
+	for v := range procs {
+		out[v] = procs[v].digest
+	}
+	return out, net.Metrics()
+}
+
+// TestFaultyShardedMatchesSequential pins the byte-identity contract under
+// injection: with the same deterministic fault model and activation mask, the
+// sharded engine must reproduce the sequential engine's digests and metrics
+// at every worker count, exactly as it does in the clean case.
+func TestFaultyShardedMatchesSequential(t *testing.T) {
+	g := skewGraphN(400, 4, 30)
+	mask := make([]bool, g.NumNodes())
+	for v := range mask {
+		mask[v] = v%5 != 3
+	}
+	faults := &hashFaults{seed: 99, dropP: 0.2, crashP: 0.3, crashFrom: 2, crashTo: 5}
+	const rounds = 8
+	wantDigest, wantMetrics := runDigestRounds(t, g, Config{Seed: 11, BandwidthWords: 2}, rounds, mask, faults)
+	for _, workers := range []int{1, 3, 8} {
+		digest, metrics := runDigestRounds(t, g,
+			Config{Seed: 11, BandwidthWords: 2, Parallel: true, Workers: workers}, rounds, mask, faults)
+		if metrics != wantMetrics {
+			t.Fatalf("workers=%d: metrics diverged\nsharded:    %v\nsequential: %v", workers, metrics, wantMetrics)
+		}
+		for v := range digest {
+			if digest[v] != wantDigest[v] {
+				t.Fatalf("workers=%d node %d: digest %x != sequential %x", workers, v, digest[v], wantDigest[v])
+			}
+		}
+	}
+}
+
+// TestPartialActivationFreezesNodes: masked-out nodes neither step nor
+// receive — their digests stay zero and they send nothing — while active
+// nodes keep running.
+func TestPartialActivationFreezesNodes(t *testing.T) {
+	g := graph.Cycle(12)
+	mask := make([]bool, 12)
+	for v := 0; v < 12; v++ {
+		mask[v] = v >= 6
+	}
+	digest, metrics := runDigestRounds(t, g, Config{Seed: 3}, 6, mask, nil)
+	for v := 0; v < 6; v++ {
+		if digest[v] != 0 {
+			t.Errorf("inactive node %d accumulated digest %x", v, digest[v])
+		}
+	}
+	active := 0
+	for v := 6; v < 12; v++ {
+		if digest[v] != 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		t.Error("no active node accumulated anything")
+	}
+	// 6 active nodes broadcasting on a cycle: strictly fewer messages than
+	// the all-active run.
+	_, full := runDigestRounds(t, g, Config{Seed: 3}, 6, nil, nil)
+	if metrics.MessagesSent >= full.MessagesSent {
+		t.Errorf("masked run sent %d messages, all-active %d — mask had no effect",
+			metrics.MessagesSent, full.MessagesSent)
+	}
+}
+
+// TestDropAllSeversNetwork: a model that drops every message must leave all
+// receivers with empty inboxes (digest 0) even though sends are accounted.
+func TestDropAllSeversNetwork(t *testing.T) {
+	g := graph.GNP(40, 0.2, 7)
+	dropAll := &hashFaults{dropP: 1.1}
+	digest, metrics := runDigestRounds(t, g, Config{Seed: 2}, 5, nil, dropAll)
+	for v, d := range digest {
+		if d != 0 {
+			t.Fatalf("node %d received something through a drop-all model (digest %x)", v, d)
+		}
+	}
+	if metrics.MessagesSent == 0 {
+		t.Fatal("senders went quiet; drop must lose messages at delivery, not suppress sends")
+	}
+	if metrics.MaxEdgeWordsPerRound != 0 {
+		t.Errorf("dropped traffic still accounted for bandwidth: MaxEdgeWordsPerRound=%d", metrics.MaxEdgeWordsPerRound)
+	}
+}
+
+// TestPartialActivationResetRegression is the satellite regression: after a
+// masked, fault-injected run, Reset must return the engine to a state
+// byte-identical to a freshly constructed one — the all-active determinism
+// goldens cannot shift because a repair pass borrowed the engine first.
+func TestPartialActivationResetRegression(t *testing.T) {
+	g := graph.GNP(150, 0.06, 9)
+	const rounds = 7
+	for _, parallel := range []bool{false, true} {
+		wantDigest, wantMetrics := runDigestRounds(t, g, Config{Seed: 21, Parallel: parallel, Workers: 4}, rounds, nil, nil)
+
+		net := New(g, Config{Seed: 21, Parallel: parallel, Workers: 4})
+		mask := make([]bool, g.NumNodes())
+		for v := range mask {
+			mask[v] = v%3 == 0
+		}
+		procs := make([]*digestProcess, g.NumNodes())
+		install := func() {
+			net.SetProcesses(func(v graph.NodeID) Process {
+				procs[v] = &digestProcess{rounds: rounds}
+				return procs[v]
+			})
+		}
+		install()
+		net.SetActive(mask)
+		net.SetFaults(&hashFaults{seed: 5, dropP: 0.5})
+		net.RunRounds(4) // dirty the engine under mask + faults
+
+		net.Reset(21) // must clear mask and faults, not just the round state
+		install()
+		net.RunRounds(rounds)
+		if got := net.Metrics(); got != wantMetrics {
+			t.Fatalf("parallel=%v: post-Reset metrics %+v, fresh engine %+v", parallel, got, wantMetrics)
+		}
+		for v := range procs {
+			if procs[v].digest != wantDigest[v] {
+				t.Fatalf("parallel=%v node %d: post-Reset digest %x, fresh engine %x", parallel, v, procs[v].digest, wantDigest[v])
+			}
+		}
+		net.Close()
+	}
+}
+
+// TestCrashWindowRestart: a node inside a crash window misses rounds but
+// resumes stepping from its retained state once the window closes.
+func TestCrashWindowRestart(t *testing.T) {
+	g := graph.Path(3)
+	stepped := make([]int, 3)
+	net := New(g, Config{Seed: 1})
+	defer net.Close()
+	net.SetProcesses(func(v graph.NodeID) Process {
+		return ProcessFunc(func(ctx *Context, round int, inbox []Message) bool {
+			stepped[ctx.NodeID()]++
+			ctx.Broadcast(kindTestData, uint64(round))
+			return false
+		})
+	})
+	net.SetFaults(&hashFaults{crashP: 1.1, crashFrom: 2, crashTo: 4}) // everyone down in rounds 2,3
+	net.RunRounds(6)
+	for v, got := range stepped {
+		if got != 4 {
+			t.Errorf("node %d stepped %d rounds, want 4 (6 minus 2 crashed)", v, got)
+		}
+	}
+}

@@ -113,6 +113,12 @@ type engineCore struct {
 	rands   []rng.Source
 	metrics Metrics
 	round   int
+
+	// active is the optional partial-activation mask (nil = every node runs)
+	// and faults the optional fault model; see faults.go. Both are cleared by
+	// Reset so warm reuse stays byte-identical to a fresh engine.
+	active []bool
+	faults FaultModel
 }
 
 func newEngineCore(g *graph.Graph, cfg Config) engineCore {
@@ -250,6 +256,8 @@ func (c *engineCore) Round() int { return c.round }
 func (c *engineCore) Reset(seed uint64) {
 	c.round = 0
 	c.metrics = Metrics{}
+	c.active = nil
+	c.faults = nil
 	clear(c.halted)
 	for v := range c.inboxes {
 		c.inboxes[v] = c.inboxes[v][:0]
@@ -285,10 +293,13 @@ func (c *engineCore) ChargeRounds(k int) {
 	}
 }
 
-// AllHalted reports whether every node with a process has halted.
+// AllHalted reports whether every active node with a process has halted.
+// Nodes masked out by SetActive are ignored: they never step, so they could
+// never halt, and counting them would make Run spin forever under partial
+// activation. Crashed nodes still count — crash windows are transient.
 func (c *engineCore) AllHalted() bool {
 	for v := range c.procs {
-		if c.procs[v] != nil && !c.halted[v] {
+		if c.procs[v] != nil && !c.halted[v] && (c.active == nil || c.active[v]) {
 			return false
 		}
 	}
@@ -345,11 +356,23 @@ func (c *engineCore) collectSendCounters() {
 func (c *engineCore) deliverRange(lo, hi int, m *Metrics) {
 	ix, p := c.ix, c.plane
 	limit := c.cfg.BandwidthWords
+	faulty := c.active != nil || c.faults != nil
 	for u := lo; u < hi; u++ {
+		if faulty && c.skipped(u) {
+			// Inactive or crashed destination: its round of traffic is lost.
+			c.inboxes[u] = c.inboxes[u][:0]
+			continue
+		}
 		inbox := c.inboxes[u][:0]
 		for e, end := ix.Offsets[u], ix.Offsets[u+1]; e < end; e++ {
+			slot := ix.Rev[e]
+			// The drop oracle is consulted only for slots that carry a
+			// message this round, so fault models can count exact losses.
+			if c.faults != nil && p.fresh(slot) && c.faults.DropMessage(c.round, slot) {
+				continue
+			}
 			var w int
-			if inbox, w = p.appendFresh(ix.Rev[e], inbox); w == 0 {
+			if inbox, w = p.appendFresh(slot, inbox); w == 0 {
 				continue
 			}
 			if w > m.MaxEdgeWordsPerRound {

@@ -49,6 +49,17 @@ func (s *MarkSet) Add(v NodeID) bool {
 // Contains reports whether v is in the set.
 func (s *MarkSet) Contains(v NodeID) bool { return s.mark[v] == s.gen }
 
+// Grow extends the ID range to n, preserving current membership. IDs below
+// the old range keep their stamps; new IDs start absent.
+func (s *MarkSet) Grow(n int) {
+	if n <= len(s.mark) {
+		return
+	}
+	grown := make([]uint32, n)
+	copy(grown, s.mark)
+	s.mark = grown
+}
+
 // Dist2View streams distance-2 neighborhoods of a graph: for every query it
 // walks N(u) and the N(v) of each neighbor v directly in the CSR arrays,
 // deduplicating with an internal MarkSet. Nothing proportional to |E(G²)| is

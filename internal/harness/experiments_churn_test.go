@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE12Smoke runs the churn experiment's quick pipeline (n = 2000, both
+// families × all three fault mixes at one rate) twice and checks the
+// deterministic columns: row shape, positive workloads, locality in (0, 1],
+// and byte-identity of everything except the wall-clock-derived columns.
+func TestE12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn sweeps skipped in -short mode (CI runs this via its own step)")
+	}
+	table, err := runE12(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("quick E12 should have 2 families × 3 mixes × 1 rate = 6 rows, got %d", len(table.Rows))
+	}
+	col := func(name string) int {
+		for i, c := range table.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	dirtyCol, ballCol, recoloredCol, localityCol := col("dirty/ep"), col("ball/ep"), col("recolored/ep"), col("locality")
+	for _, row := range table.Rows {
+		dirty, err := strconv.ParseFloat(row[dirtyCol], 64)
+		if err != nil || dirty <= 0 {
+			t.Errorf("row %v: dirty/ep = %q, want > 0", row, row[dirtyCol])
+		}
+		ball, err := strconv.ParseFloat(row[ballCol], 64)
+		if err != nil || ball < dirty {
+			t.Errorf("row %v: ball/ep %q smaller than dirty/ep %q", row, row[ballCol], row[dirtyCol])
+		}
+		recolored, err := strconv.ParseFloat(row[recoloredCol], 64)
+		if err != nil || recolored <= 0 || recolored > dirty {
+			t.Errorf("row %v: recolored/ep = %q, want in (0, dirty/ep]", row, row[recoloredCol])
+		}
+		locality, err := strconv.ParseFloat(row[localityCol], 64)
+		if err != nil || locality <= 0 || locality > 1 {
+			t.Errorf("row %v: locality = %q, want in (0, 1]", row, row[localityCol])
+		}
+	}
+	// Regenerate and compare every column that is not wall-clock-derived:
+	// the injector scripts and the repair kernel must be byte-deterministic.
+	again, err := runE12(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	volatile := map[int]bool{
+		col("repair ms/ep"): true, col("rerun ms/ep"): true,
+		col("speedup"): true, col("recolored/s"): true,
+	}
+	for ri := range table.Rows {
+		for ci := range table.Columns {
+			if volatile[ci] {
+				continue
+			}
+			if table.Rows[ri][ci] != again.Rows[ri][ci] {
+				t.Errorf("row %d column %q diverged between runs: %q vs %q",
+					ri, table.Columns[ci], table.Rows[ri][ci], again.Rows[ri][ci])
+			}
+		}
+	}
+}

@@ -1,6 +1,6 @@
-// Package harness defines and runs the experiments E1–E11 that reproduce the
+// Package harness defines and runs the experiments E1–E12 that reproduce the
 // quantitative claims of the paper, plus the million-node scale experiment
-// (see EXPERIMENTS.md and DESIGN.md §8).
+// and the churn-tolerance experiment (see EXPERIMENTS.md and DESIGN.md §8).
 //
 // The paper is a theory paper without empirical tables; each experiment
 // regenerates a table whose *shape* validates one theorem or lemma: round
@@ -175,6 +175,13 @@ func All() []Experiment {
 			Title:    "Million-node scale: throughput and memory of the palette kernels",
 			Claim:    "ROADMAP north star: sparse n = 10⁶ workloads fit in commodity memory and color at scale",
 			Run:      runE11,
+			Volatile: true,
+		},
+		{
+			ID:       "E12",
+			Title:    "Churn tolerance: incremental repair vs full rerun under fault epochs",
+			Claim:    "ROADMAP robustness item: ball-confined incremental repair heals corruption and churn at a small fraction of full-rerun cost",
+			Run:      runE12,
 			Volatile: true,
 		},
 	}

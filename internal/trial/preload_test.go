@@ -1,0 +1,118 @@
+package trial
+
+import (
+	"slices"
+	"testing"
+
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+)
+
+// TestPreloadInitialByteIdentity pins the PreloadInitial contract: with the
+// default picker, pre-announcing Initial's colors changes the message bill
+// but not a single output color, because round-0 broadcasts are recorded by
+// receivers before any answer or adoption decision reads the knowledge.
+func TestPreloadInitialByteIdentity(t *testing.T) {
+	g := graph.GNPWithAverageDegree(250, 6, 3)
+	n := g.NumNodes()
+	// Pre-color ~2/3 of the nodes with a valid partial d2 coloring: color
+	// greedily and then uncolor every third node.
+	view := graph.NewDist2View(g)
+	initial := coloring.New(n)
+	used := make(map[int]bool)
+	for v := 0; v < n; v++ {
+		clear(used)
+		view.ForEachDist2(graph.NodeID(v), func(w graph.NodeID) bool {
+			if initial[w] != coloring.Uncolored {
+				used[initial[w]] = true
+			}
+			return true
+		})
+		c := 0
+		for used[c] {
+			c++
+		}
+		initial[v] = c
+	}
+	for v := 0; v < n; v += 3 {
+		initial[v] = coloring.Uncolored
+	}
+
+	d := g.MaxDegree()
+	run := func(preload bool) Result {
+		res, err := Run(g, Config{
+			PaletteSize:    d*d + 1,
+			Scope:          ScopeDistance2,
+			Seed:           7,
+			Initial:        initial,
+			PreloadInitial: preload,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, preloaded := run(false), run(true)
+	if !slices.Equal(plain.Coloring, preloaded.Coloring) {
+		t.Fatal("PreloadInitial changed the output coloring")
+	}
+	if preloaded.Metrics.MessagesSent >= plain.Metrics.MessagesSent {
+		t.Fatalf("preload did not save messages: %d vs %d",
+			preloaded.Metrics.MessagesSent, plain.Metrics.MessagesSent)
+	}
+}
+
+// TestExtraKnownVetoes: a color seeded through ExtraKnown acts exactly like
+// a neighbor-announced color — the node vetoes proposals for it, which can
+// make an otherwise-colorable instance uncolorable.
+func TestExtraKnownVetoes(t *testing.T) {
+	g := graph.Path(2) // 0 — 1
+	initial := coloring.New(2)
+	initial[1] = 0 // node 1 fixed; node 0 must find a color in {0, 1}
+
+	// Without context, node 0 settles on color 1.
+	res, err := Run(g, Config{PaletteSize: 2, Scope: ScopeDistance2, Seed: 3, Initial: initial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coloring[0] != 1 {
+		t.Fatalf("baseline run picked color %d, want 1", res.Coloring[0])
+	}
+
+	// Node 1 "remembers" an out-of-graph neighbor using color 1: now every
+	// candidate of node 0 is vetoed and the run cannot complete.
+	res, err = Run(g, Config{
+		PaletteSize: 2,
+		Scope:       ScopeDistance2,
+		Seed:        3,
+		Initial:     initial,
+		ExtraKnown:  [][]int32{nil, {1}},
+		MaxPhases:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coloring[0] != coloring.Uncolored {
+		t.Fatalf("node 0 adopted color %d despite the ExtraKnown veto", res.Coloring[0])
+	}
+
+	// Out-of-palette and duplicate entries are ignored without effect.
+	res, err = Run(g, Config{
+		PaletteSize: 2,
+		Scope:       ScopeDistance2,
+		Seed:        3,
+		Initial:     initial,
+		ExtraKnown:  [][]int32{nil, {-4, 99, 0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coloring[0] != 1 {
+		t.Fatalf("noise ExtraKnown changed the result: color %d, want 1", res.Coloring[0])
+	}
+
+	// Length validation.
+	if _, err := Run(g, Config{PaletteSize: 2, Scope: ScopeDistance2, ExtraKnown: [][]int32{nil}}); err == nil {
+		t.Fatal("short ExtraKnown was accepted")
+	}
+}

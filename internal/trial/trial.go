@@ -115,6 +115,44 @@ type Config struct {
 	// Initial is an optional partial coloring to start from; nodes already
 	// colored in it never participate. It is not modified.
 	Initial coloring.Coloring
+	// Active is an optional partial-activation mask forwarded to the engine:
+	// nodes with Active[v] false are frozen — they neither step nor receive —
+	// and uncolored frozen nodes do not count toward completion, so the run
+	// terminates once every *active* node is colored. This is how the repair
+	// kernel confines a run to a dirty distance-2 ball on a warm full-graph
+	// kernel. nil means every node runs. The caller must not mutate the mask
+	// while the run executes, and should ensure every uncolored node it wants
+	// colored is active.
+	Active []bool
+	// Faults is an optional fault model (message drops, transient node
+	// crashes) installed on the engine for this run; nil disables injection.
+	// Injected loss can leave conflicts or uncolored nodes behind — that is
+	// the point — so fault-injected runs are typically driven under MaxPhases
+	// with verification (and repair) downstream.
+	Faults congest.FaultModel
+	// PreloadInitial treats Initial's colors as already announced: every
+	// node starts out knowing each neighbor's Initial color (as if the
+	// adoption broadcasts of round 0 had happened before the run), and
+	// pre-colored nodes skip that broadcast. With the default uniform
+	// picker the final coloring is byte-identical to a non-preloaded run —
+	// round-0 announcements are recorded by receivers before any answer is
+	// computed, so the knowledge state at every decision point matches —
+	// while the messages the broadcasts would have cost disappear from the
+	// metrics. (With AvoidKnownUsed the preloaded knowledge legitimately
+	// changes the phase-0 draws, so no identity is promised.) The repair
+	// kernel runs on extracted neighborhoods where most nodes are fixed
+	// context; preloading removes the context's broadcast storm.
+	PreloadInitial bool
+	// ExtraKnown optionally seeds per-node known-used colors beyond what
+	// any neighbor announces: ExtraKnown[v] lists colors node v must treat
+	// as used by a neighbor (duplicates and out-of-palette colors are
+	// ignored). The repair kernel uses it to stand in for frozen context
+	// outside an extracted subgraph — a boundary node keeps vetoing the
+	// colors of full-graph neighbors that the subgraph does not contain.
+	// Non-nil ExtraKnown forces the palette-bitset known tier (the sorted
+	// per-slot tier has no room for colors without a slot); its length must
+	// be the node count.
+	ExtraKnown [][]int32
 	// PackedOutput makes Run assemble the result bit-packed
 	// (Result.Packed set, Result.Coloring nil): ⌈log₂(palette+1)⌉ bits/node
 	// instead of 8 bytes, the representation the 10⁷-node scale runs keep.
@@ -337,17 +375,28 @@ func (r *Runner) Start(cfg Config) error {
 	if cfg.ActiveProbability <= 0 || cfg.ActiveProbability > 1 {
 		cfg.ActiveProbability = 1
 	}
+	if cfg.Active != nil && len(cfg.Active) != r.g.NumNodes() {
+		return fmt.Errorf("trial: activation mask has length %d, want %d", len(cfg.Active), r.g.NumNodes())
+	}
+	if cfg.ExtraKnown != nil && len(cfg.ExtraKnown) != r.g.NumNodes() {
+		return fmt.Errorf("trial: ExtraKnown has length %d, want %d", len(cfg.ExtraKnown), r.g.NumNodes())
+	}
 	r.cfg = cfg
 	r.picker = cfg.Picker
 	r.palette = int32(cfg.PaletteSize)
 	r.phases = 0
 	r.net.Reset(cfg.Seed)
+	r.net.SetActive(cfg.Active)
+	r.net.SetFaults(cfg.Faults)
 
 	n := r.g.NumNodes()
 	r.knownWords = bitset.WordsFor(cfg.PaletteSize)
 	r.useBitset = knownTierIsBitset(n, r.ix.NumSlots(), r.knownWords)
 	if r.forceKnownTier != 0 {
 		r.useBitset = r.forceKnownTier > 0 // test hook: pin one tier
+	}
+	if cfg.ExtraKnown != nil {
+		r.useBitset = true // slot-less colors have no home in the sorted tier
 	}
 	if r.useBitset {
 		if need := n * r.knownWords; need > cap(r.knownBits) {
@@ -365,12 +414,13 @@ func (r *Runner) Start(cfg Config) error {
 		}
 	}
 
-	live := int64(n)
+	live := int64(0)
 	for v := 0; v < n; v++ {
 		c := uncolored
 		if cfg.Initial != nil && cfg.Initial[v] != coloring.Uncolored {
 			c = int32(cfg.Initial[v])
-			live--
+		} else if cfg.Active == nil || cfg.Active[v] {
+			live++ // frozen uncolored nodes are not part of this run's frontier
 		}
 		r.color[v] = c
 		r.proposal[v] = -1
@@ -379,8 +429,49 @@ func (r *Runner) Start(cfg Config) error {
 	for e := range r.nbrColor {
 		r.nbrColor[e] = uncolored
 	}
+	if cfg.PreloadInitial && cfg.Initial != nil {
+		for v := 0; v < n; v++ {
+			base := r.ix.Offsets[v]
+			targets := r.ix.Targets[base:r.ix.Offsets[v+1]]
+			for i, u := range targets {
+				if c := r.color[u]; c != uncolored {
+					r.nbrColor[base+int32(i)] = c
+					r.recordKnown(graph.NodeID(v), c)
+				}
+			}
+			if r.color[v] != uncolored {
+				r.announced[v] = true // knowledge delivered out of band; skip the broadcast
+			}
+		}
+	}
+	for v := range cfg.ExtraKnown {
+		for _, c := range cfg.ExtraKnown[v] {
+			if c >= 0 && c < r.palette {
+				r.knownRow(graph.NodeID(v)).Set(int(c)) // bitset tier forced above
+			}
+		}
+	}
 	r.live.Store(live)
 	return nil
+}
+
+// recordKnown marks color c as known used by a neighbor of v on whichever
+// tier the run selected. On the sorted tier the caller must have a free slot
+// in v's region for it (one per neighbor, the recordAdoptions/preload
+// invariant).
+func (r *Runner) recordKnown(v graph.NodeID, c int32) {
+	if r.useBitset {
+		if c >= 0 && c < r.palette {
+			r.knownRow(v).Set(int(c))
+		}
+		return
+	}
+	base := r.ix.Offsets[v]
+	known := r.knownSorted[base : base+r.numKnown[v]+1]
+	lo, _ := slices.BinarySearch(known[:len(known)-1], c)
+	copy(known[lo+1:], known[lo:])
+	known[lo] = c
+	r.numKnown[v]++
 }
 
 // knownTierIsBitset selects the known-colors representation for a run: the
@@ -484,7 +575,10 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 	} else {
 		res = r.Finish()
 	}
-	if !res.Complete && !capped {
+	// Budget exhaustion is judged against the run's frontier (live active
+	// uncolored nodes), not Result.Complete: under a partial-activation mask
+	// frozen uncolored nodes legitimately stay uncolored.
+	if !r.Complete() && !capped {
 		res.BudgetExhausted = true
 		return res, fmt.Errorf("%w (%d phases, %d nodes uncolored)",
 			ErrPhaseBudget, res.Phases, r.live.Load())
@@ -713,17 +807,6 @@ func (r *Runner) recordAdoptions(v graph.NodeID, inbox []congest.Message) {
 		}
 		c := int32(DecodeColor(m.Word))
 		r.nbrColor[base+int32(nbr)] = c
-		if r.useBitset {
-			if c >= 0 && c < r.palette {
-				r.knownRow(v).Set(int(c))
-			}
-			continue
-		}
-		// Insert into the sorted known prefix of the region.
-		known := r.knownSorted[base : base+r.numKnown[v]+1]
-		lo, _ := slices.BinarySearch(known[:len(known)-1], c)
-		copy(known[lo+1:], known[lo:])
-		known[lo] = c
-		r.numKnown[v]++
+		r.recordKnown(v, c)
 	}
 }

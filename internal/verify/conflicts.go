@@ -1,0 +1,97 @@
+package verify
+
+import (
+	"fmt"
+	"slices"
+
+	"d2color/internal/bitset"
+	"d2color/internal/coloring"
+	"d2color/internal/graph"
+)
+
+// This file is the repair-seeding side of the oracle: where the Report path
+// counts violations (capped at maxViolations, because a human reads it), the
+// conflict-set path enumerates every node involved in at least one distance-2
+// color conflict — exactly the dirty set an incremental repair pass needs.
+// The count-only path is untouched: the node-set scan uses its own
+// generation-stamped node bitset, allocated lazily on the first conflict-set
+// call, so warmed count-only Checkers stay 0 allocs/op.
+
+// ConflictNodesD2 returns every node of g involved in a distance-2 color
+// conflict under c, sorted ascending. Uncolored nodes are not conflicts
+// (mirror CheckPartialD2); use the Report checks for completeness.
+func ConflictNodesD2(g *graph.Graph, c coloring.Coloring) []graph.NodeID {
+	ch := checkerPool.Get().(*Checker)
+	defer checkerPool.Put(ch)
+	return ch.AppendConflictNodesD2(g, c, nil)
+}
+
+// AppendConflictNodesD2 appends every node involved in at least one
+// distance-2 color conflict to dst and returns the extended slice; the
+// appended suffix is sorted ascending and duplicate-free. Unlike the Report
+// checks it never caps: a mass corruption reports every victim, which is what
+// seeds repair. It panics if c and g disagree on the node count.
+func (ch *Checker) AppendConflictNodesD2(g *graph.Graph, c coloring.Coloring, dst []graph.NodeID) []graph.NodeID {
+	return appendConflictNodes(ch, g, c, dst)
+}
+
+// AppendConflictNodesD2Packed is AppendConflictNodesD2 over a bit-packed
+// coloring, without unpacking it.
+func (ch *Checker) AppendConflictNodesD2Packed(g *graph.Graph, c *coloring.Packed, dst []graph.NodeID) []graph.NodeID {
+	return appendConflictNodes(ch, g, c, dst)
+}
+
+// appendConflictNodes runs the same closed-neighborhood scan as
+// checkConflicts — a d2-coloring is valid iff for every node w all colored
+// nodes of {w} ∪ N(w) have distinct colors — but marks both endpoints of
+// every duplicate into a node-indexed stamped bitset instead of building
+// (capped) Violations.
+func appendConflictNodes[C colorView](ch *Checker, g *graph.Graph, c C, dst []graph.NodeID) []graph.NodeID {
+	n := g.NumNodes()
+	if c.Len() != n {
+		panic(fmt.Sprintf("verify: coloring has %d entries for %d nodes", c.Len(), n))
+	}
+	prepare(ch, c)
+	if ch.nodeSeen == nil {
+		ch.nodeSeen = bitset.NewStamped(0)
+	}
+	ch.nodeSeen.Grow(n)
+	ch.nodeSeen.Reset()
+	start := len(dst)
+	for w := 0; w < n; w++ {
+		ch.seen.Reset()
+		ch.resetSlow()
+		nbrs := g.Neighbors(graph.NodeID(w))
+		if cw := ch.colors[w]; cw >= 0 {
+			ch.seen.Set(int(cw))
+		} else if cw == slowColor {
+			ch.slowSeen(c.Get(graph.NodeID(w)), graph.NodeID(w))
+		}
+		for i, x := range nbrs {
+			cx := ch.colors[x]
+			if cx == -1 {
+				continue
+			}
+			var prev graph.NodeID
+			dup := false
+			if cx >= 0 {
+				if ch.seen.TestAndSet(int(cx)) {
+					prev, dup = ch.firstHolder(graph.NodeID(w), nbrs[:i], cx)
+				}
+			} else {
+				prev, dup = ch.slowSeen(c.Get(x), x)
+			}
+			if !dup || prev == x {
+				continue
+			}
+			if !ch.nodeSeen.TestAndSet(int(prev)) {
+				dst = append(dst, prev)
+			}
+			if !ch.nodeSeen.TestAndSet(int(x)) {
+				dst = append(dst, x)
+			}
+		}
+	}
+	slices.Sort(dst[start:])
+	return dst
+}

@@ -91,6 +91,10 @@ type Checker struct {
 	// statsRow is the plain row behind the branch-free distinct-color count
 	// (ColorsUsed = one Set per node + one popcount).
 	statsRow bitset.Row
+	// nodeSeen deduplicates the conflict-node-set scan (see conflicts.go).
+	// Lazily allocated on the first conflict-set call, so count-only Checkers
+	// never pay for it.
+	nodeSeen *bitset.Stamped
 }
 
 // slowColor marks, in the int32 scratch, a color outside [0, limit); the
