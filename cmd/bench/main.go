@@ -14,7 +14,7 @@
 //
 // Run from the repository root:
 //
-//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_8.json
+//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_9.json
 //	go run ./cmd/bench -benchtime 5x        # steadier numbers
 //	go run ./cmd/bench -memprobe 0          # skip the n=1e6 memory probe
 //	go run ./cmd/bench -out snapshots/B.json
@@ -52,6 +52,7 @@ var pinnedSet = []struct {
 	{"./internal/sweep", "BenchmarkSweepGrid"},
 	{"./internal/repair", "BenchmarkRepairCorrupt|BenchmarkChurnEpoch"},
 	{"./internal/fault", "BenchmarkDropDecision"},
+	{"./internal/serve", "BenchmarkWarmVerifyRequest$|BenchmarkWarmRecolorRequest$|BenchmarkServeColorQueryBatched$|BenchmarkServeColorQueryUnbatched$"},
 }
 
 // measurement is one benchmark's snapshot entry.
@@ -87,7 +88,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "BENCH_8.json", "snapshot file to write")
+		out       = fs.String("out", "BENCH_9.json", "snapshot file to write")
 		benchtime = fs.String("benchtime", "1x", "-benchtime passed to go test (1x = smoke, 5x+ = steadier)")
 		memprobe  = fs.Int("memprobe", 1_000_000, "node count for the peak-RSS memory probe (0 disables)")
 	)

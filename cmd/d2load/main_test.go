@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"d2color/internal/serve"
+)
+
+func TestRunSingleMixQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mix", "many-small/query", "-quick", "-requests", "120", "-conc", "4"}, &sb); err != nil {
+		t.Fatalf("d2load: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "many-small/query") {
+		t.Errorf("missing mix row:\n%s", out)
+	}
+}
+
+func TestRunJSONAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all five quick mixes")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-mix", "all", "-quick", "-json"}, &sb); err != nil {
+		t.Fatalf("d2load: %v\noutput:\n%s", err, sb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 { // four mixes + unbatched twin
+		t.Fatalf("got %d report lines, want 5:\n%s", len(lines), sb.String())
+	}
+	seen := map[string]serve.LoadReport{}
+	for _, line := range lines {
+		var rep serve.LoadReport
+		if err := json.Unmarshal([]byte(line), &rep); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if rep.Errors != 0 {
+			t.Errorf("mix %s: %d errors", rep.Mix, rep.Errors)
+		}
+		if rep.P50 > rep.P95 || rep.P95 > rep.P99 || rep.P99 > rep.Max {
+			t.Errorf("mix %s: non-monotone percentiles %v %v %v %v", rep.Mix, rep.P50, rep.P95, rep.P99, rep.Max)
+		}
+		if rep.RequestsPerSec <= 0 || rep.Requests == 0 {
+			t.Errorf("mix %s: empty report %+v", rep.Mix, rep)
+		}
+		seen[rep.Mix] = rep
+	}
+	for _, want := range []string{"many-small/query", "many-small/query/unbatched", "many-small/churn", "one-huge/query", "one-huge/churn"} {
+		if _, ok := seen[want]; !ok {
+			t.Errorf("missing mix %s", want)
+		}
+	}
+	// The eviction-exercising mixes must actually evict.
+	if seen["many-small/query"].Evictions == 0 {
+		t.Errorf("many-small/query: no evictions under the sized budget")
+	}
+}
+
+func TestUnknownMix(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mix", "nope"}, &sb); err == nil {
+		t.Fatal("want error for unknown mix")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelfcheck(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-selfcheck"}, &sb); err != nil {
+		t.Fatalf("selfcheck: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"open:", "color:", "valid=true", "recolor:", "stats:", "selfcheck ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("selfcheck output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSelfcheckGlobalUnbatched(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-selfcheck", "-mode", "global", "-unbatched"}, &sb); err != nil {
+		t.Fatalf("selfcheck (global, unbatched): %v\noutput:\n%s", err, sb.String())
+	}
+}
+
+func TestBadMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mode", "sideways"}, &sb); err == nil {
+		t.Fatal("want error for unknown -mode")
+	}
+}

@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/bits"
 	"os"
 
 	"d2color/internal/graph"
@@ -94,6 +93,19 @@ func expectedSize(s graph.GeneratorSpec) (n, m float64, ok bool) {
 	case "gnp-avg":
 		n = float64(s.N)
 		m = n * s.P / 2 // P is the target average degree
+	case "ba":
+		n = float64(s.N)
+		ma := float64(s.Degree) // attachments per node (clamped like the generator)
+		if ma < 1 {
+			ma = 1
+		}
+		if ma > n-1 {
+			ma = n - 1
+		}
+		if n <= 1 {
+			ma = 0
+		}
+		m = ma*(ma+1)/2 + (n-ma-1)*ma // exact, not just expected
 	case "regular":
 		n = float64(s.N)
 		m = n * float64(s.Degree) / 2
@@ -127,29 +139,13 @@ func expectedSize(s graph.GeneratorSpec) (n, m float64, ok bool) {
 }
 
 // printResidentEstimate sizes the three resident tiers of a simulation on an
-// (n, m) graph against the actual layouts: the CSR with its reverse edge
-// index (4-byte offsets, targets and reverse slots), the CONGEST engine's
-// message plane plus inbox arena (a 24-byte inline Message and 8 bytes of
-// count/generation per directed edge, a 24-byte inbox header per node), and
-// a bit-packed distance-2 coloring under the (Δ̄+1)² palette proxy, where Δ̄
-// is the average degree — heavy-tailed degree distributions need a few more
-// bits per node than the proxy suggests.
+// (n, m) graph via graph.EstimateResidency — the same closed forms the
+// serving plane's session-cache budget uses for admission and eviction.
 func printResidentEstimate(w io.Writer, s graph.GeneratorSpec, n, m float64) {
-	slots := 2 * m
-	csr := 4*(n+1) + 4*slots           // offsets + targets
-	csr += 4*(n+1) + 4*slots           // edge index: slot offsets + reverse slots
-	plane := (24+4+4)*slots + 4*(n+1)  // inline Message + count + generation per slot
-	plane += 24*slots + 24*n           // inbox arena + per-node headers
-	avgDeg := 0.0
-	if n > 0 {
-		avgDeg = 2 * m / n
-	}
-	palette := (avgDeg + 1) * (avgDeg + 1)
-	packedBits := bits.Len64(uint64(palette) + 1)
-	col := n * float64(packedBits) / 8
+	est := graph.EstimateResidency(n, m)
 	fmt.Fprintf(w, "# est. simulation residency for %s: E[n]=%.3g E[m]=%.3g\n", s.String(), n, m)
 	fmt.Fprintf(w, "# est. CSR+edge-index %s, message plane+inboxes %s, packed coloring %s (%d bits/node) — total ≈ %s\n",
-		fmtBytes(csr), fmtBytes(plane), fmtBytes(col), packedBits, fmtBytes(csr+plane+col))
+		fmtBytes(est.CSRBytes), fmtBytes(est.PlaneBytes), fmtBytes(est.ColoringBytes), est.PackedBits, fmtBytes(est.Total()))
 }
 
 // fmtBytes renders a byte count with a binary unit.

@@ -377,3 +377,99 @@ func TestGNPTinyProbabilityDoesNotOverflow(t *testing.T) {
 		t.Fatalf("GNP(1000, 4e-18) produced %d edges, want 0", g.NumEdges())
 	}
 }
+
+func TestBarabasiAlbertDegreeInvariants(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{200, 1}, {200, 3}, {3000, 2}, {3000, 5}} {
+		g, eff := BarabasiAlbertEffective(tc.n, tc.m, 42)
+		if eff != tc.m {
+			t.Fatalf("BA(%d,%d): effective m = %d, want %d", tc.n, tc.m, eff, tc.m)
+		}
+		// Exact edge count: seed clique on m+1 nodes plus m distinct
+		// attachments per later node — the generator never drops an edge.
+		wantEdges := tc.m*(tc.m+1)/2 + (tc.n-tc.m-1)*tc.m
+		if g.NumEdges() != wantEdges {
+			t.Errorf("BA(%d,%d): %d edges, want %d", tc.n, tc.m, g.NumEdges(), wantEdges)
+		}
+		degSum := 0
+		minDeg := tc.n
+		for v := 0; v < tc.n; v++ {
+			d := g.Degree(NodeID(v))
+			degSum += d
+			if d < minDeg {
+				minDeg = d
+			}
+		}
+		if degSum != 2*wantEdges {
+			t.Errorf("BA(%d,%d): degree sum %d, want %d", tc.n, tc.m, degSum, 2*wantEdges)
+		}
+		if minDeg < tc.m {
+			t.Errorf("BA(%d,%d): min degree %d < m", tc.n, tc.m, minDeg)
+		}
+		// Preferential attachment concentrates degree on hubs: the maximum
+		// degree must sit far above the m..2m band a uniform-attachment
+		// graph of the same density would produce.
+		if g.MaxDegree() < 3*tc.m {
+			t.Errorf("BA(%d,%d): max degree %d shows no heavy tail (want >= %d)", tc.n, tc.m, g.MaxDegree(), 3*tc.m)
+		}
+		if !g.IsConnected() {
+			t.Errorf("BA(%d,%d): not connected", tc.n, tc.m)
+		}
+	}
+}
+
+func TestBarabasiAlbertDeterministicBySeed(t *testing.T) {
+	a := BarabasiAlbert(500, 3, 7)
+	b := BarabasiAlbert(500, 3, 7)
+	for v := 0; v < 500; v++ {
+		if !slicesEqualNodeIDs(a.Neighbors(NodeID(v)), b.Neighbors(NodeID(v))) {
+			t.Fatalf("BA(500,3,7): node %d adjacency differs between identical seeds", v)
+		}
+	}
+	c := BarabasiAlbert(500, 3, 8)
+	same := true
+	for v := 0; v < 500 && same; v++ {
+		same = slicesEqualNodeIDs(a.Neighbors(NodeID(v)), c.Neighbors(NodeID(v)))
+	}
+	if same {
+		t.Fatal("BA(500,3): seeds 7 and 8 produced identical graphs")
+	}
+}
+
+func slicesEqualNodeIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBarabasiAlbertEffectiveClamps(t *testing.T) {
+	if g, eff := BarabasiAlbertEffective(50, 0, 1); eff != 1 || g.NumEdges() != 1+48 {
+		t.Errorf("m=0 should clamp to 1: eff=%d edges=%d", eff, g.NumEdges())
+	}
+	if g, eff := BarabasiAlbertEffective(6, 10, 1); eff != 5 || g.NumEdges() != 15 {
+		t.Errorf("m >= n should clamp to n-1 (complete graph): eff=%d edges=%d", eff, g.NumEdges())
+	}
+	if g, eff := BarabasiAlbertEffective(1, 3, 1); eff != 0 || g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Errorf("n=1: eff=%d nodes=%d edges=%d", eff, g.NumNodes(), g.NumEdges())
+	}
+	if g, eff := BarabasiAlbertEffective(-4, 3, 1); eff != 0 || g.NumNodes() != 0 {
+		t.Errorf("n<0: eff=%d nodes=%d", eff, g.NumNodes())
+	}
+}
+
+func TestGeneratorSpecBA(t *testing.T) {
+	g, err := GeneratorSpec{Kind: "ba", N: 300, Degree: 2, Seed: 5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := BarabasiAlbert(300, 2, 5)
+	if g.NumNodes() != direct.NumNodes() || g.NumEdges() != direct.NumEdges() {
+		t.Fatalf("spec BA (%d nodes, %d edges) != direct (%d, %d)",
+			g.NumNodes(), g.NumEdges(), direct.NumNodes(), direct.NumEdges())
+	}
+}

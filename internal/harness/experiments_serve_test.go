@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE13Smoke runs the serving-plane experiment's quick pipeline (the four
+// standard mixes plus the unbatched twin at CI sizes) once and checks the
+// structural invariants: row shape, monotone percentiles, no request errors
+// (runE13 fails on those itself), positive throughput, coalescing on the
+// batched query mix, and evictions under the sized budget. Every measured
+// column is wall-clock derived, so there is no rerun-and-compare half — E13
+// is Volatile like E11.
+func TestE13Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load mixes skipped in -short mode (CI runs this via its own step)")
+	}
+	table, err := runE13(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("quick E13 should have 4 mixes + 1 unbatched twin = 5 rows, got %d", len(table.Rows))
+	}
+	col := func(name string) int {
+		for i, c := range table.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	mixCol := col("mix")
+	p50Col, p95Col, p99Col := col("p50 ms"), col("p95 ms"), col("p99 ms")
+	reqsCol, rpsCol := col("requests"), col("req/s")
+	coalCol, evictCol, batchCol := col("coalesced"), col("evict"), col("batch")
+
+	rows := map[string][]string{}
+	for _, row := range table.Rows {
+		rows[row[mixCol]] = row
+		p50, err1 := strconv.ParseFloat(row[p50Col], 64)
+		p95, err2 := strconv.ParseFloat(row[p95Col], 64)
+		p99, err3 := strconv.ParseFloat(row[p99Col], 64)
+		if err1 != nil || err2 != nil || err3 != nil || p50 <= 0 || p50 > p95 || p95 > p99 {
+			t.Errorf("row %v: non-monotone or non-positive percentiles", row)
+		}
+		if reqs, err := strconv.Atoi(row[reqsCol]); err != nil || reqs <= 0 {
+			t.Errorf("row %v: requests = %q, want > 0", row, row[reqsCol])
+		}
+		if rps, err := strconv.ParseFloat(row[rpsCol], 64); err != nil || rps <= 0 {
+			t.Errorf("row %v: req/s = %q, want > 0", row, row[rpsCol])
+		}
+	}
+	for _, want := range []string{"many-small/query", "many-small/query/unbatched", "many-small/churn", "one-huge/query", "one-huge/churn"} {
+		if _, ok := rows[want]; !ok {
+			t.Fatalf("missing mix row %q", want)
+		}
+	}
+	// The batched query mix must actually batch and coalesce; its unbatched
+	// twin must not.
+	q, un := rows["many-small/query"], rows["many-small/query/unbatched"]
+	if coal, err := strconv.Atoi(q[coalCol]); err != nil || coal == 0 {
+		t.Errorf("batched query mix coalesced %q requests, want > 0", q[coalCol])
+	}
+	if un[coalCol] != "0" {
+		t.Errorf("unbatched twin coalesced %q requests, want 0", un[coalCol])
+	}
+	if batch, err := strconv.ParseFloat(un[batchCol], 64); err != nil || batch > 1 {
+		t.Errorf("unbatched twin mean batch = %q, want <= 1", un[batchCol])
+	}
+	// The many-small mixes run under a ~70% budget: eviction must happen.
+	if q[evictCol] == "0" {
+		t.Errorf("many-small/query: no evictions under the sized budget")
+	}
+	// The single-session huge mixes never evict.
+	if rows["one-huge/query"][evictCol] != "0" {
+		t.Errorf("one-huge/query: unexpected evictions %q", rows["one-huge/query"][evictCol])
+	}
+}

@@ -1,6 +1,7 @@
-// Package harness defines and runs the experiments E1–E12 that reproduce the
-// quantitative claims of the paper, plus the million-node scale experiment
-// and the churn-tolerance experiment (see EXPERIMENTS.md and DESIGN.md §8).
+// Package harness defines and runs the experiments E1–E13 that reproduce the
+// quantitative claims of the paper, plus the million-node scale experiment,
+// the churn-tolerance experiment, and the serving-plane load experiment
+// (see EXPERIMENTS.md and DESIGN.md §8).
 //
 // The paper is a theory paper without empirical tables; each experiment
 // regenerates a table whose *shape* validates one theorem or lemma: round
@@ -182,6 +183,13 @@ func All() []Experiment {
 			Title:    "Churn tolerance: incremental repair vs full rerun under fault epochs",
 			Claim:    "ROADMAP robustness item: ball-confined incremental repair heals corruption and churn at a small fraction of full-rerun cost",
 			Run:      runE12,
+			Volatile: true,
+		},
+		{
+			ID:       "E13",
+			Title:    "Coloring as a service: latency and throughput under closed-loop load",
+			Claim:    "ROADMAP serving item: warm sessions with batched dispatch serve query-heavy mixes with bounded tails, and batching beats unbatched dispatch where requests coalesce",
+			Run:      runE13,
 			Volatile: true,
 		},
 	}

@@ -82,6 +82,15 @@ type Options struct {
 	// repairs then simply report Complete == false; Stabilize loops until
 	// the coloring is clean anyway.
 	Faults congest.FaultModel
+	// ScratchReports makes Repair reuse one session-owned buffer for
+	// Report.Recolored instead of allocating a fresh slice per call: the
+	// returned slice is then valid only until the next Repair on this
+	// session. Combined with ModeGlobal this makes the warm steady-state
+	// repair path allocation-free — the serving plane's recolor requests
+	// run with it on. Off by default: callers that retain reports across
+	// calls (Stabilize's per-iteration list, cross-run comparisons) keep
+	// the safe copying behavior.
+	ScratchReports bool
 }
 
 // Report describes one repair run.
@@ -129,7 +138,8 @@ type Session struct {
 	dirtyMark *graph.MarkSet
 	dirty     []graph.NodeID
 	ball      []graph.NodeID
-	oldColors []int // pre-repair colors of the ball, index-aligned with ball
+	oldColors []int          // pre-repair colors of the ball, index-aligned with ball
+	recolored []graph.NodeID // Report.Recolored scratch under Options.ScratchReports
 
 	// ModeGlobal scratch.
 	active  []bool
@@ -270,10 +280,16 @@ func (s *Session) Repair(dirty []graph.NodeID, seed uint64) (Report, error) {
 
 	res.Dirty = len(s.dirty)
 	res.Ball = len(s.ball)
+	if s.opts.ScratchReports {
+		res.Recolored = s.recolored[:0]
+	}
 	for i, v := range s.ball {
 		if s.colors[v] != s.oldColors[i] {
 			res.Recolored = append(res.Recolored, v)
 		}
+	}
+	if s.opts.ScratchReports {
+		s.recolored = res.Recolored
 	}
 	if res.Ball > 0 {
 		res.Locality = float64(len(res.Recolored)) / float64(res.Ball)
@@ -366,7 +382,11 @@ func (s *Session) repairGlobal(seed uint64) (Report, error) {
 	for _, d := range s.dirty {
 		s.initial[d] = coloring.Uncolored
 	}
-	res, err := s.runner.Run(trial.Config{
+	// Start + RunPhases + Color read-back instead of Run: Finish would
+	// materialize a full fresh coloring per call just so the dirty handful
+	// can be copied out of it. Reading the kernel's flat color array
+	// directly keeps the warm steady-state repair path allocation-free.
+	if err := s.runner.Start(trial.Config{
 		PaletteSize: s.palette,
 		Scope:       trial.ScopeDistance2,
 		MaxPhases:   s.opts.MaxPhases,
@@ -374,26 +394,26 @@ func (s *Session) repairGlobal(seed uint64) (Report, error) {
 		Initial:     s.initial,
 		Active:      s.active,
 		Faults:      s.opts.Faults,
-	})
-	if err != nil {
+	}); err != nil {
 		return Report{}, err
 	}
-	for _, d := range s.dirty {
-		s.colors[d] = res.Coloring[d]
+	if err := s.runner.RunPhases(); err != nil {
+		return Report{}, err
 	}
-	// A masked run reports Result.Complete == false whenever frozen nodes
-	// are uncolored; completeness of the *repair* is about the dirty set.
+	// A masked run leaves frozen uncolored nodes uncolored; completeness of
+	// the *repair* is about the dirty set.
 	complete := true
 	for _, d := range s.dirty {
-		if res.Coloring[d] == coloring.Uncolored {
+		s.colors[d] = s.runner.Color(d)
+		if s.colors[d] == coloring.Uncolored {
 			complete = false
-			break
 		}
 	}
+	m := s.runner.Metrics()
 	return Report{
-		Phases:   res.Phases,
-		Rounds:   res.Metrics.Rounds,
-		Metrics:  res.Metrics,
+		Phases:   s.runner.Phases(),
+		Rounds:   m.Rounds,
+		Metrics:  m,
 		Complete: complete,
 	}, nil
 }

@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"d2color/internal/graph"
+	"d2color/internal/repair"
+)
+
+// LoadSpec describes one closed-loop load mix: a session population, a
+// request mix over it, and a concurrency level. The schedule is
+// deterministic (one SplitMix64 stream per worker, seeded from Seed), so two
+// runs of the same spec issue byte-identical request sequences — only the
+// measured latencies are machine-dependent.
+type LoadSpec struct {
+	// Mix names the workload for reports ("many-small/query", ...).
+	Mix string
+	// Sessions is the session population; Family/N/Deg describe each
+	// session's graph ("ba" → BarabasiAlbert(N, Deg), "gnp" → average
+	// degree Deg, "unitdisk" → radius Deg). Session i gets seed Seed+i.
+	Sessions int
+	Family   string
+	N        int
+	Deg      float64
+	// Algorithm colors the sessions (registry name; default "relaxed").
+	Algorithm string
+	// Requests is the total closed-loop request count, split evenly across
+	// Concurrency workers.
+	Requests    int
+	Concurrency int
+	// The op mix: VerifyFraction of requests verify, RecolorFraction run a
+	// churn epoch (Corrupt corrupted colors each), and the remainder are
+	// color requests drawing their seed from ColorSeeds distinct values
+	// (1 = the same coloring re-requested every time — the read-shaped
+	// query the batch coalescer collapses).
+	VerifyFraction  float64
+	RecolorFraction float64
+	Corrupt         int
+	ColorSeeds      int
+	// Hot skews the session pick: this fraction of requests target session 0
+	// (the rest draw uniformly), modeling the hot-key skew of real query
+	// traffic — and the condition under which same-session requests pile into
+	// one dispatch window and coalesce.
+	Hot  float64
+	Seed uint64
+	// Server shape.
+	Unbatched bool
+	BatchMax  int
+	Budget    int64
+	Mode      repair.Mode
+	Parallel  bool
+	Workers   int
+}
+
+func (s LoadSpec) algorithm() string {
+	if s.Algorithm == "" {
+		return "relaxed"
+	}
+	return s.Algorithm
+}
+
+func (s LoadSpec) colorSeeds() uint64 {
+	if s.ColorSeeds <= 0 {
+		return 1
+	}
+	return uint64(s.ColorSeeds)
+}
+
+// sessionSpec is the generator spec of session i.
+func (s LoadSpec) sessionSpec(i int) *graph.GeneratorSpec {
+	spec := &graph.GeneratorSpec{N: s.N, Seed: int64(s.Seed) + int64(i)}
+	switch s.Family {
+	case "gnp":
+		spec.Kind, spec.P = "gnp-avg", s.Deg
+	case "unitdisk":
+		spec.Kind, spec.P = "unitdisk", s.Deg
+	default:
+		spec.Kind, spec.Degree = "ba", int(s.Deg)
+	}
+	return spec
+}
+
+// LoadReport is the outcome of one load run. Latency quantiles are measured
+// per request at the transport boundary (closed loop: a worker issues its
+// next request only after the previous response).
+type LoadReport struct {
+	Mix         string        `json:"mix"`
+	Sessions    int           `json:"sessions"`
+	Nodes       int           `json:"nodes"`
+	Requests    int           `json:"requests"`
+	Concurrency int           `json:"concurrency"`
+	Unbatched   bool          `json:"unbatched,omitempty"`
+	Errors      int           `json:"errors"`
+	Reopens     int           `json:"reopens"`
+	Elapsed     time.Duration `json:"elapsed"`
+
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+	Max time.Duration `json:"max"`
+
+	RequestsPerSec float64 `json:"requestsPerSec"`
+	// Colorings counts full-coloring responses served (color requests,
+	// including coalesced ones and cache-miss reopens); ColoringsPerSec is
+	// the sustained rate over the run.
+	Colorings       int     `json:"colorings"`
+	ColoringsPerSec float64 `json:"coloringsPerSec"`
+	// RecoloredNodes sums Response.Recolored over churn epochs.
+	RecoloredNodes int64 `json:"recoloredNodes"`
+
+	// Server-side counters (from the stats op after the run).
+	MeanBatch float64 `json:"meanBatch"`
+	Coalesced int64   `json:"coalesced"`
+	Evictions int64   `json:"evictions"`
+}
+
+// splitmix64 is the load driver's per-worker schedule stream (the same
+// generator the fault injector uses).
+type splitmix64 struct{ state uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix64) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *splitmix64) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// RunLoad builds an in-process server shaped by the spec, replays the mix
+// against it with per-worker Clients, and tears it down.
+func RunLoad(spec LoadSpec) (LoadReport, error) {
+	srv := NewServer(Options{
+		ResidentBudget: spec.Budget,
+		Unbatched:      spec.Unbatched,
+		BatchMax:       spec.BatchMax,
+		RepairMode:     spec.Mode,
+		Parallel:       spec.Parallel,
+		Workers:        spec.Workers,
+	})
+	defer srv.Close()
+	return RunLoadWith(func() Transport { return srv.NewClient() }, spec)
+}
+
+// RunLoadWith replays the mix through caller-supplied transports (one per
+// worker) — the entry point cmd/d2load uses to drive a remote HTTP server
+// with the identical schedule.
+func RunLoadWith(newTransport func() Transport, spec LoadSpec) (LoadReport, error) {
+	if spec.Sessions <= 0 || spec.Requests <= 0 {
+		return LoadReport{}, fmt.Errorf("serve: load spec needs sessions and requests")
+	}
+	if spec.Concurrency <= 0 {
+		spec.Concurrency = 1
+	}
+	setup := newTransport()
+	var resp Response
+	for i := 0; i < spec.Sessions; i++ {
+		req := Request{Op: OpOpen, Session: sessionKey(i), Spec: spec.sessionSpec(i)}
+		if err := setup.Do(&req, &resp); err != nil {
+			return LoadReport{}, fmt.Errorf("serve: load setup open %s: %w", req.Session, err)
+		}
+		req = Request{Op: OpColor, Session: sessionKey(i), Algorithm: spec.algorithm(), Seed: spec.Seed}
+		if err := setup.Do(&req, &resp); err != nil {
+			return LoadReport{}, fmt.Errorf("serve: load setup color %s: %w", req.Session, err)
+		}
+	}
+
+	workers := make([]*loadWorker, spec.Concurrency)
+	per := spec.Requests / spec.Concurrency
+	extra := spec.Requests % spec.Concurrency
+	for w := range workers {
+		n := per
+		if w < extra {
+			n++
+		}
+		workers[w] = &loadWorker{
+			spec:      spec,
+			transport: newTransport(),
+			rng:       splitmix64{state: spec.Seed ^ (uint64(w+1) * 0xa5a5a5a5a5a5a5a5)},
+			budget:    n,
+			latencies: make([]time.Duration, 0, n),
+		}
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	for _, w := range workers {
+		go func(w *loadWorker) {
+			w.run()
+			done <- struct{}{}
+		}(w)
+	}
+	for range workers {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	rep := LoadReport{
+		Mix:         spec.Mix,
+		Sessions:    spec.Sessions,
+		Nodes:       spec.N,
+		Concurrency: spec.Concurrency,
+		Unbatched:   spec.Unbatched,
+		Elapsed:     elapsed,
+	}
+	var all []time.Duration
+	for _, w := range workers {
+		all = append(all, w.latencies...)
+		rep.Requests += len(w.latencies)
+		rep.Errors += w.errors
+		rep.Reopens += w.reopens
+		rep.Colorings += w.colorings
+		rep.RecoloredNodes += w.recolored
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50 = quantile(all, 0.50)
+	rep.P95 = quantile(all, 0.95)
+	rep.P99 = quantile(all, 0.99)
+	if len(all) > 0 {
+		rep.Max = all[len(all)-1]
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.RequestsPerSec = float64(rep.Requests) / secs
+		rep.ColoringsPerSec = float64(rep.Colorings) / secs
+	}
+	// Server-side counters via the stats op — works identically for the
+	// in-process and remote transports.
+	statsReq := Request{Op: OpStats}
+	if err := setup.Do(&statsReq, &resp); err == nil && resp.Stats != nil {
+		var reqs, batches int64
+		for _, ss := range resp.Stats.Sessions {
+			reqs += ss.Requests
+			batches += ss.Batches
+			rep.Coalesced += ss.Coalesced
+		}
+		if batches > 0 {
+			rep.MeanBatch = float64(reqs) / float64(batches)
+		}
+		rep.Evictions = resp.Stats.Evicted
+	}
+	return rep, nil
+}
+
+func sessionKey(i int) string { return fmt.Sprintf("s%d", i) }
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// loadWorker is one closed-loop client: it issues its request budget
+// sequentially, reopening evicted sessions (the cache-miss path) and
+// recording one latency per request.
+type loadWorker struct {
+	spec      LoadSpec
+	transport Transport
+	rng       splitmix64
+	budget    int
+
+	latencies []time.Duration
+	errors    int
+	reopens   int
+	colorings int
+	recolored int64
+}
+
+func (w *loadWorker) run() {
+	var req Request
+	var resp Response
+	for i := 0; i < w.budget; i++ {
+		idx := 0
+		if w.rng.float64() >= w.spec.Hot {
+			idx = w.rng.intn(w.spec.Sessions)
+		}
+		ses := sessionKey(idx)
+		r := w.rng.float64()
+		switch {
+		case r < w.spec.VerifyFraction:
+			req = Request{Op: OpVerify, Session: ses}
+		case r < w.spec.VerifyFraction+w.spec.RecolorFraction:
+			corrupt := w.spec.Corrupt
+			if corrupt <= 0 {
+				corrupt = 1
+			}
+			req = Request{Op: OpRecolor, Session: ses, Corrupt: corrupt, Seed: w.rng.next()}
+		default:
+			seed := w.spec.Seed + w.rng.next()%w.spec.colorSeeds()
+			req = Request{Op: OpColor, Session: ses, Algorithm: w.spec.algorithm(), Seed: seed}
+		}
+		start := time.Now()
+		err := w.transport.Do(&req, &resp)
+		for attempt := 0; errors.Is(err, ErrUnknownSession) && attempt < 3; attempt++ {
+			// The session was evicted under the resident budget: reopen and
+			// recolor it — the cold path a cache miss costs a real client —
+			// then retry, all inside this request's latency window.
+			if w.reopen(ses) {
+				w.reopens++
+				err = w.transport.Do(&req, &resp)
+			} else {
+				break
+			}
+		}
+		w.latencies = append(w.latencies, time.Since(start))
+		if err != nil {
+			w.errors++
+			continue
+		}
+		switch req.Op {
+		case OpColor:
+			w.colorings++
+		case OpRecolor:
+			w.recolored += int64(resp.Recolored)
+		}
+	}
+}
+
+// reopen rebuilds an evicted session (open + initial color). A concurrent
+// worker may win the race; ErrSessionExists means the session is back either
+// way.
+func (w *loadWorker) reopen(ses string) bool {
+	var resp Response
+	idx := 0
+	fmt.Sscanf(ses, "s%d", &idx)
+	req := Request{Op: OpOpen, Session: ses, Spec: w.spec.sessionSpec(idx)}
+	if err := w.transport.Do(&req, &resp); err != nil && !errors.Is(err, ErrSessionExists) {
+		return false
+	}
+	req = Request{Op: OpColor, Session: ses, Algorithm: w.spec.algorithm(), Seed: w.spec.Seed}
+	if err := w.transport.Do(&req, &resp); err != nil && !errors.Is(err, ErrUnknownSession) {
+		return false
+	}
+	return true
+}
+
+// estimateSessionBytes mirrors the server's admission estimate (the
+// graphgen closed forms plus the unpacked working coloring) so the standard
+// mixes can size eviction-exercising budgets deterministically.
+func estimateSessionBytes(n int, m float64) int64 {
+	return int64(graph.EstimateResidency(float64(n), m).Total()) + int64(8*n)
+}
+
+// StandardMixes returns the four named reference mixes of experiment E13 —
+// {many-small-graphs, one-huge-graph} × {query-heavy, churn-heavy} — at full
+// or quick scale. The many-small mixes run under a resident budget of ~70%
+// of the population, so LRU eviction and the reopen cold path are part of
+// the measured distribution; the one-huge mixes hold a single resident
+// session and measure pure warm-path latency.
+func StandardMixes(quick bool) []LoadSpec {
+	smallN, smallSessions, smallReqs := 2000, 12, 4000
+	hugeN, hugeReqs := 30000, 1500
+	conc := 8
+	churnReqs, hugeChurnReqs := 1500, 600
+	if quick {
+		smallN, smallSessions, smallReqs = 600, 6, 400
+		hugeN, hugeReqs = 4000, 250
+		conc = 4
+		churnReqs, hugeChurnReqs = 250, 120
+	}
+	const baM = 3
+	smallEdges := float64(baM*(baM+1)/2 + (smallN-baM-1)*baM)
+	smallBudget := estimateSessionBytes(smallN, smallEdges) * int64(smallSessions) * 7 / 10
+	return []LoadSpec{
+		{
+			Mix: "many-small/query", Sessions: smallSessions, Family: "ba", N: smallN, Deg: baM,
+			Requests: smallReqs, Concurrency: conc,
+			VerifyFraction: 0.82, RecolorFraction: 0.06, Corrupt: 4, ColorSeeds: 1, Hot: 0.5,
+			Seed: 1, Budget: smallBudget, Mode: repair.ModeLocal,
+		},
+		{
+			Mix: "many-small/churn", Sessions: smallSessions, Family: "ba", N: smallN, Deg: baM,
+			Requests: churnReqs, Concurrency: conc,
+			VerifyFraction: 0.15, RecolorFraction: 0.78, Corrupt: 8, ColorSeeds: 4,
+			Seed: 2, Budget: smallBudget, Mode: repair.ModeLocal,
+		},
+		{
+			Mix: "one-huge/query", Sessions: 1, Family: "gnp", N: hugeN, Deg: 8,
+			Requests: hugeReqs, Concurrency: conc,
+			VerifyFraction: 0.9, RecolorFraction: 0.06, Corrupt: 16, ColorSeeds: 1,
+			Seed: 3, Mode: repair.ModeGlobal,
+		},
+		{
+			Mix: "one-huge/churn", Sessions: 1, Family: "gnp", N: hugeN, Deg: 8,
+			Requests: hugeChurnReqs, Concurrency: conc,
+			VerifyFraction: 0.12, RecolorFraction: 0.84, Corrupt: 32, ColorSeeds: 1,
+			Seed: 4, Mode: repair.ModeGlobal,
+		},
+	}
+}

@@ -1,0 +1,489 @@
+// Package serve is the long-lived serving plane: warm per-graph sessions
+// behind a request API, the shape every reuse mechanism in the repository
+// (Engine.Reset, pooled trial kernels, 0-alloc warmed verify, ball-confined
+// repair) was built for but that the one-shot CLIs never exercise.
+//
+// A Server holds a cache of sessions keyed by client-chosen names. Each
+// session owns a built CSR and, built lazily on first use, a resident warm
+// trial kernel (and through it a congest.Engine), a pooled verify.Checker,
+// and a repair.Session — and is driven by exactly one goroutine (per-session
+// affinity), so the warm kernels run without any locking on the hot path.
+// Requests against the same session that are queued at dispatch time are
+// executed as one batch; read-shaped requests inside a batch window
+// (verify, and repeat color requests with the same algorithm and seed) are
+// coalesced into a single kernel pass, which is where batched dispatch beats
+// unbatched on query-heavy mixes.
+//
+// The cache is bounded by a resident-bytes budget using the same closed-form
+// estimates as `graphgen -estimate` (graph.EstimateResidency): opening a
+// session past the budget evicts least-recently-used sessions first. Every
+// evicted or closed session shuts its worker down and closes its kernels —
+// the engine-close lifecycle tests pin that no goroutine or kernel outlives
+// its session.
+//
+// Responses are byte-identical to direct library calls: a color request
+// reports the same coloring hash, palette, and engine metrics as
+// alg.Get(name).Run on a fresh graph; a recolor request matches a direct
+// repair.Session fed the same fault script. Warm verify and recolor requests
+// perform zero heap allocations (enforced the same way the trial and verify
+// planes enforce it).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"d2color/internal/alg"
+	"d2color/internal/coloring"
+	"d2color/internal/congest"
+	"d2color/internal/graph"
+	"d2color/internal/repair"
+)
+
+// Op names a request operation.
+type Op string
+
+const (
+	// OpOpen builds a session: generates the spec's graph and admits it into
+	// the cache (evicting LRU sessions if the budget requires).
+	OpOpen Op = "open"
+	// OpColor runs a registry algorithm on the session's graph and installs
+	// the result as the session's working coloring.
+	OpColor Op = "color"
+	// OpVerify checks the working coloring against the distance-2 constraint
+	// on the warm checker. Zero allocations warm.
+	OpVerify Op = "verify"
+	// OpRecolor is a churn epoch: corrupt-and-repair (Corrupt > 0), repair an
+	// explicit dirty set (Dirty), or a full Stabilize sweep (neither). Zero
+	// allocations warm for the explicit-dirty global-mode path.
+	OpRecolor Op = "recolor"
+	// OpStats snapshots the server and per-session counters.
+	OpStats Op = "stats"
+	// OpClose tears one session down.
+	OpClose Op = "close"
+)
+
+// Request is one operation against the server. The zero value of unused
+// fields is fine; Session names the target for everything except OpStats
+// (where it is optional and ignored).
+type Request struct {
+	Op      Op     `json:"op"`
+	Session string `json:"session,omitempty"`
+	// Spec describes the graph to build (OpOpen only).
+	Spec *graph.GeneratorSpec `json:"spec,omitempty"`
+	// Algorithm is a registry name (OpColor; default "relaxed").
+	Algorithm string `json:"algorithm,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// Dirty is an explicit dirty set for OpRecolor.
+	Dirty []graph.NodeID `json:"dirty,omitempty"`
+	// Corrupt, for OpRecolor, corrupts this many uniformly chosen colors
+	// (seeded by Seed) before repairing them — the fault-injection epoch.
+	Corrupt int `json:"corrupt,omitempty"`
+}
+
+// Response is the result of one request. It carries only scalars on the hot
+// paths (the coloring hash stands in for the coloring itself), so filling it
+// never allocates. Hash is FNV-64a over the per-node colors as 8-byte
+// little-endian words — the registry golden's hash, comparable across
+// serve/direct runs.
+type Response struct {
+	Op      Op     `json:"op"`
+	Session string `json:"session,omitempty"`
+
+	// OpOpen.
+	Nodes          int   `json:"nodes,omitempty"`
+	Edges          int   `json:"edges,omitempty"`
+	EstimatedBytes int64 `json:"estimatedBytes,omitempty"`
+
+	// OpColor / OpVerify / OpRecolor.
+	Algorithm   string          `json:"algorithm,omitempty"`
+	Hash        uint64          `json:"hash,omitempty"`
+	PaletteSize int             `json:"paletteSize,omitempty"`
+	ColorsUsed  int             `json:"colorsUsed,omitempty"`
+	Valid       bool            `json:"valid,omitempty"`
+	MaxColor    int             `json:"maxColor,omitempty"`
+	Metrics     congest.Metrics `json:"metrics,omitzero"`
+
+	// OpRecolor.
+	Dirty      int  `json:"dirty,omitempty"`
+	Ball       int  `json:"ball,omitempty"`
+	Recolored  int  `json:"recolored,omitempty"`
+	Phases     int  `json:"phases,omitempty"`
+	Iterations int  `json:"iterations,omitempty"`
+	Complete   bool `json:"complete,omitempty"`
+
+	// OpStats.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Sentinel errors; the HTTP layer maps them to codes and back, so a remote
+// client can discriminate (e.g. reopen after ErrUnknownSession — an evicted
+// session looks exactly like one that never existed).
+var (
+	ErrServerClosed   = errors.New("serve: server closed")
+	ErrUnknownSession = errors.New("serve: unknown session")
+	ErrSessionExists  = errors.New("serve: session already exists")
+	ErrNotColored     = errors.New("serve: session has no working coloring yet (issue a color request first)")
+	ErrNotD2          = errors.New("serve: session's working coloring is not a d2-coloring")
+	ErrBadRequest     = errors.New("serve: bad request")
+)
+
+// Options configures a Server.
+type Options struct {
+	// ResidentBudget bounds the summed residency estimates of cached
+	// sessions, in bytes; opening past it evicts least-recently-used
+	// sessions first. 0 means unlimited. A single session larger than the
+	// whole budget is still admitted (after evicting everything else):
+	// refusing it would make the one-huge-graph workload unservable.
+	ResidentBudget int64
+	// BatchMax bounds how many queued same-session requests one dispatch
+	// window executes; 0 means 64.
+	BatchMax int
+	// Unbatched disables the dispatch window entirely (one request per
+	// wakeup, no coalescing) — the control arm of the batching benchmarks.
+	Unbatched bool
+	// Parallel/Workers select the sharded engine for the session kernels
+	// (byte-identical results either way).
+	Parallel bool
+	Workers  int
+	// RepairMode confines recolor requests (ModeLocal extracts the ball's
+	// subgraph; ModeGlobal reuses the session's warm kernel — the
+	// allocation-free path).
+	RepairMode repair.Mode
+	// QueueDepth is the per-session request channel capacity; 0 means 1024.
+	QueueDepth int
+}
+
+func (o Options) batchMax() int {
+	if o.BatchMax <= 0 {
+		return 64
+	}
+	return o.BatchMax
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth <= 0 {
+		return 1024
+	}
+	return o.QueueDepth
+}
+
+// Server is the session cache plus dispatcher. All methods are safe for
+// concurrent use.
+type Server struct {
+	opts Options
+
+	mu       sync.RWMutex
+	closed   bool
+	sessions map[string]*session
+
+	clock    atomic.Int64 // LRU recency ticks
+	estTotal atomic.Int64 // summed residency estimates of cached sessions
+
+	opened    atomic.Int64
+	evicted   atomic.Int64
+	shutdowns atomic.Int64 // workers fully shut down (kernels closed)
+	requests  atomic.Int64
+
+	wg       sync.WaitGroup
+	callPool sync.Pool
+}
+
+// NewServer builds an empty server.
+func NewServer(opts Options) *Server {
+	s := &Server{opts: opts, sessions: make(map[string]*session)}
+	s.callPool.New = func() any { return newCall() }
+	return s
+}
+
+// call is the envelope a request travels in: pre-allocated (pooled or owned
+// by a Client), so enqueueing is allocation-free.
+type call struct {
+	req      *Request
+	resp     *Response
+	err      error
+	shutdown bool // sentinel: drain, close kernels, exit
+	done     chan struct{}
+}
+
+func newCall() *call {
+	return &call{done: make(chan struct{}, 1)}
+}
+
+// Client is a per-goroutine handle whose Do is allocation-free once warm: it
+// owns a reusable call envelope. A Client must not be used concurrently;
+// create one per goroutine (they are cheap).
+type Client struct {
+	srv *Server
+	c   call
+}
+
+// NewClient returns a dedicated client handle for hot request loops.
+func (s *Server) NewClient() *Client {
+	cl := &Client{srv: s}
+	cl.c.done = make(chan struct{}, 1)
+	return cl
+}
+
+// Do executes one request, filling resp (cleared first). resp must outlive
+// the call only; the client may reuse both req and resp immediately after.
+func (cl *Client) Do(req *Request, resp *Response) error {
+	c := &cl.c
+	c.req, c.resp, c.err = req, resp, nil
+	return cl.srv.dispatch(c)
+}
+
+// Do executes one request using a pooled envelope — the convenience entry
+// point for control-plane callers and the HTTP layer. Hot loops should
+// prefer a Client.
+func (s *Server) Do(req *Request, resp *Response) error {
+	c := s.callPool.Get().(*call)
+	c.req, c.resp, c.err = req, resp, nil
+	err := s.dispatch(c)
+	c.req, c.resp = nil, nil
+	s.callPool.Put(c)
+	return err
+}
+
+func (s *Server) dispatch(c *call) error {
+	s.requests.Add(1)
+	req, resp := c.req, c.resp
+	*resp = Response{Op: req.Op, Session: req.Session}
+	switch req.Op {
+	case OpOpen:
+		return s.open(req, resp)
+	case OpClose:
+		return s.closeSession(req.Session)
+	case OpStats:
+		resp.Stats = s.statsSnapshot()
+		return nil
+	case OpColor, OpVerify, OpRecolor:
+	default:
+		return fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
+	}
+	// Session ops: look up and enqueue while holding the read lock, so an
+	// evictor (which takes the write lock before sending the shutdown
+	// sentinel) can never observe the session in the map while a sender is
+	// still about to enqueue. The wait itself happens lock-free.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrServerClosed
+	}
+	ses := s.sessions[req.Session]
+	if ses == nil {
+		s.mu.RUnlock()
+		return ErrUnknownSession
+	}
+	ses.lastUsed.Store(s.clock.Add(1))
+	ses.reqs <- c
+	s.mu.RUnlock()
+	<-c.done
+	return c.err
+}
+
+// open generates the spec's graph, admits the session under the budget
+// (evicting LRU sessions as needed), and starts its worker.
+func (s *Server) open(req *Request, resp *Response) error {
+	if req.Session == "" {
+		return fmt.Errorf("%w: open needs a session name", ErrBadRequest)
+	}
+	if req.Spec == nil {
+		return fmt.Errorf("%w: open needs a graph spec", ErrBadRequest)
+	}
+	g, err := req.Spec.Generate()
+	if err != nil {
+		return err
+	}
+	n, m := g.NumNodes(), g.NumEdges()
+	// The closed-form estimate `graphgen -estimate` prints, plus the 8-byte
+	// working coloring sessions keep unpacked for repair.
+	est := int64(graph.EstimateResidency(float64(n), float64(m)).Total()) + int64(8*n)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	if _, ok := s.sessions[req.Session]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrSessionExists, req.Session)
+	}
+	if budget := s.opts.ResidentBudget; budget > 0 {
+		for s.estTotal.Load()+est > budget && len(s.sessions) > 0 {
+			s.evictLRULocked()
+		}
+	}
+	ses := &session{
+		srv:  s,
+		key:  req.Session,
+		g:    g,
+		est:  est,
+		reqs: make(chan *call, s.opts.queueDepth()),
+	}
+	ses.lastUsed.Store(s.clock.Add(1))
+	s.sessions[req.Session] = ses
+	s.estTotal.Add(est)
+	s.opened.Add(1)
+	s.wg.Add(1)
+	go ses.loop()
+	s.mu.Unlock()
+
+	resp.Nodes, resp.Edges, resp.EstimatedBytes = n, m, est
+	return nil
+}
+
+// evictLRULocked removes the least-recently-used session from the map and
+// sends its worker the shutdown sentinel. Caller holds s.mu.
+func (s *Server) evictLRULocked() {
+	var victim *session
+	for _, ses := range s.sessions {
+		if victim == nil || ses.lastUsed.Load() < victim.lastUsed.Load() {
+			victim = ses
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(s.sessions, victim.key)
+	s.estTotal.Add(-victim.est)
+	s.evicted.Add(1)
+	// Holding the write lock guarantees no dispatcher is mid-enqueue, so
+	// the sentinel is the last call the worker ever receives; it drains the
+	// queue ahead of it, closes its kernels and exits. The send cannot block
+	// forever: the worker is alive until it processes the sentinel.
+	victim.reqs <- &call{shutdown: true, done: make(chan struct{}, 1)}
+}
+
+// closeSession tears one session down and waits for its worker to finish
+// closing the kernels.
+func (s *Server) closeSession(key string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	ses, ok := s.sessions[key]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownSession
+	}
+	delete(s.sessions, key)
+	s.estTotal.Add(-ses.est)
+	sentinel := &call{shutdown: true, done: make(chan struct{}, 1)}
+	ses.reqs <- sentinel
+	s.mu.Unlock()
+	<-sentinel.done
+	return nil
+}
+
+// Close shuts every session down (closing all kernels) and rejects further
+// requests. It blocks until every worker has exited.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for key, ses := range s.sessions {
+		delete(s.sessions, key)
+		s.estTotal.Add(-ses.est)
+		ses.reqs <- &call{shutdown: true, done: make(chan struct{}, 1)}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// SessionStats is one session's counter snapshot.
+type SessionStats struct {
+	Session         string `json:"session"`
+	Nodes           int    `json:"nodes"`
+	Edges           int    `json:"edges"`
+	EstimatedBytes  int64  `json:"estimatedBytes"`
+	Requests        int64  `json:"requests"`
+	Color           int64  `json:"color"`
+	Verify          int64  `json:"verify"`
+	Recolor         int64  `json:"recolor"`
+	Batches         int64  `json:"batches"`
+	BatchedRequests int64  `json:"batchedRequests"`
+	MaxBatch        int64  `json:"maxBatch"`
+	Coalesced       int64  `json:"coalesced"`
+}
+
+// Stats is a point-in-time snapshot of the server counters — the payload of
+// OpStats and of the expvar hook.
+type Stats struct {
+	Sessions         []SessionStats `json:"sessions"`
+	Opened           int64          `json:"opened"`
+	Evicted          int64          `json:"evicted"`
+	Shutdown         int64          `json:"shutdown"` // workers fully exited, kernels closed
+	Requests         int64          `json:"requests"`
+	ResidentEstimate int64          `json:"residentEstimate"`
+	ResidentBudget   int64          `json:"residentBudget"`
+	Unbatched        bool           `json:"unbatched,omitempty"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats { return *s.statsSnapshot() }
+
+func (s *Server) statsSnapshot() *Stats {
+	st := &Stats{
+		Opened:           s.opened.Load(),
+		Evicted:          s.evicted.Load(),
+		Shutdown:         s.shutdowns.Load(),
+		Requests:         s.requests.Load(),
+		ResidentEstimate: s.estTotal.Load(),
+		ResidentBudget:   s.opts.ResidentBudget,
+		Unbatched:        s.opts.Unbatched,
+	}
+	s.mu.RLock()
+	for _, ses := range s.sessions {
+		st.Sessions = append(st.Sessions, ses.statsSnapshot())
+	}
+	s.mu.RUnlock()
+	sortSessionStats(st.Sessions)
+	return st
+}
+
+func sortSessionStats(ss []SessionStats) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].Session < ss[j-1].Session; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// HashColors is the registry golden's coloring hash: FNV-64a over the
+// per-node colors as 8-byte little-endian words. Two colorings hash equal
+// iff they are byte-identical (modulo hash collisions).
+func HashColors(c coloring.Coloring) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, col := range c {
+		w := uint64(col)
+		for b := 0; b < 8; b++ {
+			h ^= w & 0xff
+			h *= prime64
+			w >>= 8
+		}
+	}
+	return h
+}
+
+// resolveAlgorithm maps a request's algorithm name to a registry instance.
+func resolveAlgorithm(name string) (alg.Algorithm, string, error) {
+	if name == "" {
+		name = "relaxed"
+	}
+	a, ok := alg.Get(name)
+	if !ok {
+		return nil, name, fmt.Errorf("%w: unknown algorithm %q", ErrBadRequest, name)
+	}
+	return a, name, nil
+}

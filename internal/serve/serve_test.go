@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"d2color/internal/alg"
+	"d2color/internal/fault"
+	"d2color/internal/graph"
+	"d2color/internal/repair"
+
+	// Blank imports populate the registry with every default instance.
+	_ "d2color/internal/baseline"
+	_ "d2color/internal/detd2"
+	_ "d2color/internal/mis"
+	_ "d2color/internal/polylogd2"
+	_ "d2color/internal/randd2"
+)
+
+// goldenSpecs mirrors the registry golden's family list (internal/alg's
+// goldenFamilies) as generator specs, so the served byte-identity claim is
+// pinned against exactly the instances the palette-kernel golden pins.
+func goldenSpecs() []struct {
+	name string
+	spec graph.GeneratorSpec
+} {
+	return []struct {
+		name string
+		spec graph.GeneratorSpec
+	}{
+		{"gnp", graph.GeneratorSpec{Kind: "gnp-avg", N: 96, P: 8, Seed: 3}},
+		{"unitdisk", graph.GeneratorSpec{Kind: "unitdisk", N: 90, P: 0.16, Seed: 5}},
+		{"grid", graph.GeneratorSpec{Kind: "grid", N: 9, M: 9}},
+		{"cliquechain", graph.GeneratorSpec{Kind: "cliquechain", N: 4, M: 5}},
+		{"star", graph.GeneratorSpec{Kind: "star", N: 24}},
+		{"regular", graph.GeneratorSpec{Kind: "regular", N: 80, Degree: 6, Seed: 7}},
+	}
+}
+
+// TestServedMatchesDirect pins the tentpole byte-identity claim: a color
+// request against a warm session returns exactly the coloring hash, palette
+// and Metrics of a direct alg.Run on a fresh graph, for every registered
+// algorithm × golden family × seed — even though the session reuses one warm
+// kernel across all of them.
+func TestServedMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry three times per family")
+	}
+	seeds := []uint64{1, 7, 42}
+	for _, fam := range goldenSpecs() {
+		srv := NewServer(Options{})
+		spec := fam.spec
+		var resp Response
+		if err := srv.Do(&Request{Op: OpOpen, Session: fam.name, Spec: &spec}, &resp); err != nil {
+			t.Fatalf("%s: open: %v", fam.name, err)
+		}
+		g, err := fam.spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range alg.All() {
+			for _, seed := range seeds {
+				direct, err := a.Run(g, alg.Engine{}, seed)
+				if err != nil {
+					t.Fatalf("%s/%s/%d: direct: %v", fam.name, a.Name(), seed, err)
+				}
+				req := Request{Op: OpColor, Session: fam.name, Algorithm: a.Name(), Seed: seed}
+				if err := srv.Do(&req, &resp); err != nil {
+					t.Fatalf("%s/%s/%d: served: %v", fam.name, a.Name(), seed, err)
+				}
+				if want := HashColors(direct.Coloring); resp.Hash != want {
+					t.Errorf("%s/%s/%d: served hash %016x != direct %016x", fam.name, a.Name(), seed, resp.Hash, want)
+				}
+				if resp.PaletteSize != direct.PaletteSize {
+					t.Errorf("%s/%s/%d: served palette %d != direct %d", fam.name, a.Name(), seed, resp.PaletteSize, direct.PaletteSize)
+				}
+				if resp.Metrics != direct.Metrics {
+					t.Errorf("%s/%s/%d: served metrics %+v != direct %+v", fam.name, a.Name(), seed, resp.Metrics, direct.Metrics)
+				}
+				if want := direct.ColorsUsed(); resp.ColorsUsed != want {
+					t.Errorf("%s/%s/%d: served colorsUsed %d != direct %d", fam.name, a.Name(), seed, resp.ColorsUsed, want)
+				}
+				if alg.IsD2Coloring(a) && !resp.Valid {
+					t.Errorf("%s/%s/%d: served coloring reported invalid", fam.name, a.Name(), seed)
+				}
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestServeRecolorMatchesDirectRepair pins recolor byte-identity: the served
+// churn epoch (corrupt k colors, repair the victims) produces exactly the
+// working coloring of a direct repair.Session fed the same injector script,
+// in both repair modes.
+func TestServeRecolorMatchesDirectRepair(t *testing.T) {
+	spec := graph.GeneratorSpec{Kind: "gnp-avg", N: 500, P: 8, Seed: 11}
+	for _, mode := range []repair.Mode{repair.ModeLocal, repair.ModeGlobal} {
+		srv := NewServer(Options{RepairMode: mode})
+		var resp Response
+		if err := srv.Do(&Request{Op: OpOpen, Session: "g", Spec: &spec}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Do(&Request{Op: OpColor, Session: "g", Algorithm: "relaxed", Seed: 5}, &resp); err != nil {
+			t.Fatal(err)
+		}
+
+		// The direct twin: same graph, same algorithm, same repair options,
+		// same fault script.
+		g, _ := spec.Generate()
+		a, _ := alg.Get("relaxed")
+		direct, err := a.Run(g, alg.Engine{}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := resp.Hash, HashColors(direct.Coloring); got != want {
+			t.Fatalf("mode %v: initial coloring diverged before any repair", mode)
+		}
+		rs := repair.NewSession(g, direct.Coloring, repair.Options{
+			Palette: direct.PaletteSize, Mode: mode,
+		})
+		defer rs.Close()
+
+		for epoch := uint64(0); epoch < 3; epoch++ {
+			seed := 100 + epoch
+			if err := srv.Do(&Request{Op: OpRecolor, Session: "g", Corrupt: 20, Seed: seed}, &resp); err != nil {
+				t.Fatalf("mode %v epoch %d: served recolor: %v", mode, epoch, err)
+			}
+			inj := fault.NewInjector(seed)
+			victims := inj.CorruptColors(g, rs.Colors(), 20, fault.TargetUniform, rs.Palette())
+			rep, err := rs.Repair(victims, seed)
+			if err != nil {
+				t.Fatalf("mode %v epoch %d: direct repair: %v", mode, epoch, err)
+			}
+			if want := HashColors(rs.Colors()); resp.Hash != want {
+				t.Errorf("mode %v epoch %d: served hash %016x != direct %016x", mode, epoch, resp.Hash, want)
+			}
+			if resp.Dirty != rep.Dirty || resp.Ball != rep.Ball || resp.Recolored != len(rep.Recolored) {
+				t.Errorf("mode %v epoch %d: served (dirty=%d ball=%d recolored=%d) != direct (%d %d %d)",
+					mode, epoch, resp.Dirty, resp.Ball, resp.Recolored, rep.Dirty, rep.Ball, len(rep.Recolored))
+			}
+			if resp.Metrics != rep.Metrics {
+				t.Errorf("mode %v epoch %d: served metrics %+v != direct %+v", mode, epoch, resp.Metrics, rep.Metrics)
+			}
+			if !resp.Complete {
+				t.Errorf("mode %v epoch %d: served repair incomplete", mode, epoch)
+			}
+		}
+
+		// Explicit-dirty path.
+		dirty := []graph.NodeID{3, 77, 250, 499}
+		if err := srv.Do(&Request{Op: OpRecolor, Session: "g", Dirty: dirty, Seed: 7}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rs.Repair(dirty, 7); err != nil {
+			t.Fatal(err)
+		}
+		if want := HashColors(rs.Colors()); resp.Hash != want {
+			t.Errorf("mode %v: explicit-dirty served hash %016x != direct %016x", mode, resp.Hash, want)
+		}
+
+		// Stabilize path on a clean coloring: no iterations, hash unchanged.
+		if err := srv.Do(&Request{Op: OpRecolor, Session: "g", Seed: 9}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Iterations != 0 || !resp.Complete {
+			t.Errorf("mode %v: stabilize on clean coloring: iterations=%d complete=%v", mode, resp.Iterations, resp.Complete)
+		}
+		if want := HashColors(rs.Colors()); resp.Hash != want {
+			t.Errorf("mode %v: stabilize changed the coloring", mode)
+		}
+
+		// The served working coloring must verify clean after the epochs.
+		if err := srv.Do(&Request{Op: OpVerify, Session: "g"}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Valid {
+			t.Errorf("mode %v: post-churn working coloring invalid", mode)
+		}
+		srv.Close()
+	}
+}
+
+// TestServeBatchedAndUnbatchedIdentical drives the same request sequence
+// through a batched and an unbatched server: every response must match
+// field-for-field — batching is a scheduling optimization, never a semantic
+// one.
+func TestServeBatchedAndUnbatchedIdentical(t *testing.T) {
+	spec := graph.GeneratorSpec{Kind: "ba", N: 300, Degree: 3, Seed: 2}
+	run := func(unbatched bool) []Response {
+		srv := NewServer(Options{Unbatched: unbatched})
+		defer srv.Close()
+		var out []Response
+		var resp Response
+		do := func(req Request) {
+			if err := srv.Do(&req, &resp); err != nil {
+				t.Fatalf("unbatched=%v %s: %v", unbatched, req.Op, err)
+			}
+			r := resp
+			r.Stats = nil
+			out = append(out, r)
+		}
+		do(Request{Op: OpOpen, Session: "x", Spec: &spec})
+		do(Request{Op: OpColor, Session: "x", Algorithm: "greedy", Seed: 1})
+		do(Request{Op: OpVerify, Session: "x"})
+		do(Request{Op: OpRecolor, Session: "x", Corrupt: 5, Seed: 3})
+		do(Request{Op: OpVerify, Session: "x"})
+		do(Request{Op: OpColor, Session: "x", Algorithm: "relaxed", Seed: 4})
+		do(Request{Op: OpRecolor, Session: "x", Dirty: []graph.NodeID{1, 2, 3}, Seed: 5})
+		do(Request{Op: OpVerify, Session: "x"})
+		return out
+	}
+	batched, unbatched := run(false), run(true)
+	for i := range batched {
+		if batched[i] != unbatched[i] {
+			t.Errorf("response %d differs: batched %+v != unbatched %+v", i, batched[i], unbatched[i])
+		}
+	}
+}
+
+// TestServeEvictionLRU pins the budget/eviction contract: opening past the
+// resident budget evicts the least-recently-used session, which then behaves
+// exactly like one that never existed.
+func TestServeEvictionLRU(t *testing.T) {
+	spec := graph.GeneratorSpec{Kind: "ba", N: 200, Degree: 3, Seed: 1}
+	// Learn one session's estimate, then budget for two.
+	probe := NewServer(Options{})
+	var resp Response
+	if err := probe.Do(&Request{Op: OpOpen, Session: "p", Spec: &spec}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	est := resp.EstimatedBytes
+	probe.Close()
+	if est <= 0 {
+		t.Fatalf("estimate = %d, want > 0", est)
+	}
+
+	srv := NewServer(Options{ResidentBudget: 2*est + est/2})
+	defer srv.Close()
+	for _, name := range []string{"a", "b"} {
+		s := spec
+		if err := srv.Do(&Request{Op: OpOpen, Session: name, Spec: &s}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Do(&Request{Op: OpColor, Session: name, Algorithm: "greedy", Seed: 1}, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim.
+	if err := srv.Do(&Request{Op: OpVerify, Session: "a"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	s := spec
+	if err := srv.Do(&Request{Op: OpOpen, Session: "c", Spec: &s}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Do(&Request{Op: OpVerify, Session: "b"}, &resp); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("evicted session b: err = %v, want ErrUnknownSession", err)
+	}
+	if err := srv.Do(&Request{Op: OpVerify, Session: "a"}, &resp); err != nil {
+		t.Errorf("session a should have survived: %v", err)
+	}
+	st := srv.Stats()
+	if st.Evicted != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evicted)
+	}
+	if st.ResidentEstimate != 2*est {
+		t.Errorf("resident estimate = %d, want %d", st.ResidentEstimate, 2*est)
+	}
+	// An evicted name is reusable immediately.
+	s = spec
+	if err := srv.Do(&Request{Op: OpOpen, Session: "b", Spec: &s}, &resp); err != nil {
+		t.Errorf("reopen of evicted b: %v", err)
+	}
+}
+
+// TestServeErrors pins the error contract of the request surface.
+func TestServeErrors(t *testing.T) {
+	srv := NewServer(Options{})
+	var resp Response
+	if err := srv.Do(&Request{Op: OpVerify, Session: "nope"}, &resp); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("verify on unknown session: %v", err)
+	}
+	if err := srv.Do(&Request{Op: OpOpen, Session: "x"}, &resp); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("open without spec: %v", err)
+	}
+	spec := graph.GeneratorSpec{Kind: "star", N: 10}
+	if err := srv.Do(&Request{Op: OpOpen, Session: "x", Spec: &spec}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Do(&Request{Op: OpOpen, Session: "x", Spec: &spec}, &resp); !errors.Is(err, ErrSessionExists) {
+		t.Errorf("duplicate open: %v", err)
+	}
+	if err := srv.Do(&Request{Op: OpVerify, Session: "x"}, &resp); !errors.Is(err, ErrNotColored) {
+		t.Errorf("verify before color: %v", err)
+	}
+	if err := srv.Do(&Request{Op: OpRecolor, Session: "x", Corrupt: 2, Seed: 1}, &resp); !errors.Is(err, ErrNotColored) {
+		t.Errorf("recolor before color: %v", err)
+	}
+	if err := srv.Do(&Request{Op: OpColor, Session: "x", Algorithm: "mis"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Do(&Request{Op: OpRecolor, Session: "x", Corrupt: 2, Seed: 1}, &resp); !errors.Is(err, ErrNotD2) {
+		t.Errorf("recolor on MIS session: %v", err)
+	}
+	if err := srv.Do(&Request{Op: OpColor, Session: "x", Algorithm: "no-such-alg"}, &resp); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("unknown algorithm: %v", err)
+	}
+	if err := srv.Do(&Request{Op: Op("bogus"), Session: "x"}, &resp); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("unknown op: %v", err)
+	}
+	srv.Close()
+	if err := srv.Do(&Request{Op: OpVerify, Session: "x"}, &resp); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("request after close: %v", err)
+	}
+}

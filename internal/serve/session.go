@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"d2color/internal/alg"
+	"d2color/internal/coloring"
+	"d2color/internal/fault"
+	"d2color/internal/graph"
+	"d2color/internal/repair"
+	"d2color/internal/trial"
+	"d2color/internal/verify"
+)
+
+// session is one cached graph plus its warm kernels, owned by exactly one
+// worker goroutine: every field below the channel is touched only by the
+// worker (per-session affinity), so the hot paths run without locks. The
+// counters are atomics only because Stats reads them from other goroutines.
+type session struct {
+	srv      *Server
+	key      string
+	g        *graph.Graph
+	est      int64
+	reqs     chan *call
+	lastUsed atomic.Int64
+
+	// Worker-owned warm state, built lazily on first use.
+	tk        *trial.Runner
+	checker   *verify.Checker
+	rs        *repair.Session
+	colors    coloring.Coloring
+	palette   int
+	algorithm string
+	isD2      bool
+	memo      batchMemo
+
+	nRequests atomic.Int64
+	nColor    atomic.Int64
+	nVerify   atomic.Int64
+	nRecolor  atomic.Int64
+	nBatches  atomic.Int64
+	nBatched  atomic.Int64 // requests that shared a window with at least one other
+	maxBatch  atomic.Int64
+	coalesced atomic.Int64
+}
+
+// batchMemo caches read-shaped results within one dispatch window: verify
+// responses, and the response of the last color request (keyed by resolved
+// algorithm + seed — rerunning the same deterministic-by-seed algorithm on
+// the same graph cannot change the answer). Mutating requests invalidate it;
+// the memo never crosses a window boundary.
+type batchMemo struct {
+	verifyOK  bool
+	verify    Response
+	colorOK   bool
+	colorAlg  string
+	colorSeed uint64
+	color     Response
+}
+
+// loop is the session worker: blocking receive, then (unless the server is
+// unbatched) a non-blocking drain of whatever else is already queued, up to
+// BatchMax — the dispatch window. No timers: the only concession is a single
+// scheduler yield between the receive and the drain, so concurrent
+// dispatchers that are about to park on their done channels get one chance
+// to publish into the window first (without it, the channel send's runnext
+// hand-off wakes the worker before any other producer has run, and windows
+// degenerate to size one under GOMAXPROCS=1). One yield costs nanoseconds;
+// a missed coalescing window costs a kernel pass.
+func (ses *session) loop() {
+	defer ses.srv.wg.Done()
+	batchMax := ses.srv.opts.batchMax()
+	batch := make([]*call, 0, batchMax)
+	for c := range ses.reqs {
+		batch = append(batch[:0], c)
+		if !ses.srv.opts.Unbatched {
+			runtime.Gosched()
+		drain:
+			for len(batch) < batchMax {
+				select {
+				case c2 := <-ses.reqs:
+					batch = append(batch, c2)
+				default:
+					break drain
+				}
+			}
+		}
+		if ses.runBatch(batch) {
+			return
+		}
+	}
+}
+
+// runBatch executes one dispatch window and reports whether the shutdown
+// sentinel was seen (the worker must then exit; kernels are already closed).
+func (ses *session) runBatch(batch []*call) (shutdown bool) {
+	ses.nBatches.Add(1)
+	if n := int64(len(batch)); n > 1 {
+		ses.nBatched.Add(n)
+		if n > ses.maxBatch.Load() {
+			ses.maxBatch.Store(n)
+		}
+	} else if ses.maxBatch.Load() == 0 {
+		ses.maxBatch.Store(1)
+	}
+	ses.memo = batchMemo{}
+	var sentinel *call
+	for _, c := range batch {
+		if c.shutdown {
+			// The evictor sends the sentinel while holding the write lock,
+			// after removing the session from the map — it is necessarily
+			// the last call in the queue.
+			sentinel = c
+			continue
+		}
+		ses.nRequests.Add(1)
+		switch c.req.Op {
+		case OpVerify:
+			ses.nVerify.Add(1)
+			if ses.memo.verifyOK {
+				ses.coalesced.Add(1)
+				*c.resp = ses.memo.verify
+			} else if c.err = ses.doVerify(c.resp); c.err == nil {
+				ses.memo.verifyOK = true
+				ses.memo.verify = *c.resp
+			}
+		case OpColor:
+			ses.nColor.Add(1)
+			name := c.req.Algorithm
+			if name == "" {
+				name = "relaxed"
+			}
+			if ses.memo.colorOK && ses.memo.colorAlg == name && ses.memo.colorSeed == c.req.Seed {
+				ses.coalesced.Add(1)
+				*c.resp = ses.memo.color
+			} else if c.err = ses.doColor(c.req, c.resp); c.err == nil {
+				// A fresh run with different parameters replaced the working
+				// coloring; a memo-hit rerun would have produced the same
+				// bytes, so the verify memo only drops on the former.
+				ses.memo = batchMemo{colorOK: true, colorAlg: name, colorSeed: c.req.Seed, color: *c.resp}
+			} else {
+				ses.memo = batchMemo{}
+			}
+		case OpRecolor:
+			ses.nRecolor.Add(1)
+			ses.memo = batchMemo{}
+			c.err = ses.doRecolor(c.req, c.resp)
+		default:
+			c.err = ErrBadRequest
+		}
+		c.done <- struct{}{}
+	}
+	if sentinel != nil {
+		ses.closeKernels()
+		ses.srv.shutdowns.Add(1)
+		sentinel.done <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// closeKernels releases the warm kernels (and through them their
+// congest.Engine goroutines). Called exactly once, by the worker, on
+// shutdown — the lifecycle the leak tests pin.
+func (ses *session) closeKernels() {
+	if ses.rs != nil {
+		ses.rs.Close()
+		ses.rs = nil
+	}
+	if ses.tk != nil {
+		ses.tk.Close()
+		ses.tk = nil
+	}
+}
+
+// kernel memoizes the session's warm trial kernel — the same hook the sweep
+// grid hands to alg.Engine.Kernel, so repeated color requests share one
+// network and one set of flat per-node arrays.
+func (ses *session) kernel() *trial.Runner {
+	if ses.tk == nil {
+		ses.tk = trial.NewRunner(ses.g, ses.srv.opts.Parallel, ses.srv.opts.Workers)
+	}
+	return ses.tk
+}
+
+func (ses *session) lazyChecker() *verify.Checker {
+	if ses.checker == nil {
+		ses.checker = verify.NewChecker()
+	}
+	return ses.checker
+}
+
+// doColor runs a registry algorithm on the warm kernel and installs the
+// result as the session's working coloring.
+func (ses *session) doColor(req *Request, resp *Response) error {
+	a, name, err := resolveAlgorithm(req.Algorithm)
+	if err != nil {
+		return err
+	}
+	res, err := a.Run(ses.g, alg.Engine{
+		Parallel: ses.srv.opts.Parallel,
+		Workers:  ses.srv.opts.Workers,
+		Kernel:   ses.kernel,
+	}, req.Seed)
+	if err != nil {
+		return err
+	}
+	if ses.rs != nil {
+		// The repair session's working coloring is superseded; rebuild it
+		// lazily from the fresh one on the next recolor.
+		ses.rs.Close()
+		ses.rs = nil
+	}
+	ses.colors = res.Coloring
+	ses.palette = res.PaletteSize
+	ses.algorithm = name
+	ses.isD2 = alg.IsD2Coloring(a)
+	resp.Algorithm = name
+	resp.Hash = HashColors(res.Coloring)
+	resp.PaletteSize = res.PaletteSize
+	resp.Metrics = res.Metrics
+	if ses.isD2 {
+		rep := ses.lazyChecker().CheckD2(ses.g, res.Coloring, res.PaletteSize)
+		resp.Valid = rep.Valid
+		resp.ColorsUsed = rep.ColorsUsed
+		resp.MaxColor = rep.MaxColor
+	} else {
+		// MIS-shaped outputs have no d2 constraint to check; Valid is
+		// vacuously true.
+		resp.Valid = true
+		resp.ColorsUsed = res.ColorsUsed()
+		for _, c := range res.Coloring {
+			if c > resp.MaxColor {
+				resp.MaxColor = c
+			}
+		}
+	}
+	return nil
+}
+
+// doVerify checks the working coloring on the warm checker. Allocation-free
+// once the checker is warm and the coloring valid.
+func (ses *session) doVerify(resp *Response) error {
+	if ses.colors == nil {
+		return ErrNotColored
+	}
+	rep := ses.lazyChecker().CheckD2(ses.g, ses.colors, ses.palette)
+	resp.Algorithm = ses.algorithm
+	resp.Hash = HashColors(ses.colors)
+	resp.PaletteSize = ses.palette
+	resp.Valid = rep.Valid
+	resp.ColorsUsed = rep.ColorsUsed
+	resp.MaxColor = rep.MaxColor
+	return nil
+}
+
+// doRecolor is one churn epoch against the session's repair kernel: corrupt
+// k colors and repair them (Corrupt), repair an explicit dirty set (Dirty),
+// or run the self-stabilization sweep (neither). The explicit-dirty path on
+// a ModeGlobal server is allocation-free once warm.
+func (ses *session) doRecolor(req *Request, resp *Response) error {
+	if ses.colors == nil {
+		return ErrNotColored
+	}
+	if !ses.isD2 {
+		return ErrNotD2
+	}
+	if ses.rs == nil {
+		ses.rs = repair.NewSession(ses.g, ses.colors, repair.Options{
+			Palette:        ses.palette,
+			Mode:           ses.srv.opts.RepairMode,
+			Parallel:       ses.srv.opts.Parallel,
+			Workers:        ses.srv.opts.Workers,
+			ScratchReports: true,
+		})
+		// The repair session copies and then owns the working coloring;
+		// alias it so verify sees every repair.
+		ses.colors = ses.rs.Colors()
+	}
+	switch {
+	case req.Corrupt > 0:
+		inj := fault.NewInjector(req.Seed)
+		victims := inj.CorruptColors(ses.g, ses.rs.Colors(), req.Corrupt, fault.TargetUniform, ses.rs.Palette())
+		rep, err := ses.rs.Repair(victims, req.Seed)
+		if err != nil {
+			return err
+		}
+		fillRepairResponse(resp, rep, 1)
+	case len(req.Dirty) > 0:
+		rep, err := ses.rs.Repair(req.Dirty, req.Seed)
+		if err != nil {
+			return err
+		}
+		fillRepairResponse(resp, rep, 1)
+	default:
+		reports, err := ses.rs.Stabilize(req.Seed, 0)
+		for _, rep := range reports {
+			resp.Dirty += rep.Dirty
+			resp.Ball += rep.Ball
+			resp.Recolored += len(rep.Recolored)
+			resp.Phases += rep.Phases
+		}
+		resp.Iterations = len(reports)
+		if len(reports) > 0 {
+			resp.Metrics = reports[len(reports)-1].Metrics
+		}
+		if err != nil {
+			return err
+		}
+		resp.Complete = true
+	}
+	resp.Algorithm = ses.algorithm
+	resp.PaletteSize = ses.palette
+	resp.Hash = HashColors(ses.rs.Colors())
+	return nil
+}
+
+func fillRepairResponse(resp *Response, rep repair.Report, iters int) {
+	resp.Dirty = rep.Dirty
+	resp.Ball = rep.Ball
+	resp.Recolored = len(rep.Recolored)
+	resp.Phases = rep.Phases
+	resp.Iterations = iters
+	resp.Metrics = rep.Metrics
+	resp.Complete = rep.Complete
+}
+
+func (ses *session) statsSnapshot() SessionStats {
+	return SessionStats{
+		Session:         ses.key,
+		Nodes:           ses.g.NumNodes(),
+		Edges:           ses.g.NumEdges(),
+		EstimatedBytes:  ses.est,
+		Requests:        ses.nRequests.Load(),
+		Color:           ses.nColor.Load(),
+		Verify:          ses.nVerify.Load(),
+		Recolor:         ses.nRecolor.Load(),
+		Batches:         ses.nBatches.Load(),
+		BatchedRequests: ses.nBatched.Load(),
+		MaxBatch:        ses.maxBatch.Load(),
+		Coalesced:       ses.coalesced.Load(),
+	}
+}

@@ -512,6 +512,44 @@ func (r *Runner) Complete() bool { return r.live.Load() == 0 }
 // Phases returns the number of phases executed since Start.
 func (r *Runner) Phases() int { return r.phases }
 
+// Metrics returns the engine metrics accumulated since Start.
+func (r *Runner) Metrics() congest.Metrics { return r.net.Metrics() }
+
+// Color returns v's current color, coloring.Uncolored if it has none. This is
+// the read-back hook for callers that drive Start/RunPhases themselves and
+// want the result without a Finish allocation (the repair kernel's zero-alloc
+// global mode reads back only the dirty set this way).
+func (r *Runner) Color(v graph.NodeID) int { return int(r.color[v]) }
+
+// RunPhases executes phases until the coloring completes or the phase budget
+// of the Config passed to Start is exhausted — the loop of Run, factored out
+// so callers can keep the colors in the kernel's flat arrays instead of
+// paying Finish's allocation. A warmed-up Start + RunPhases + Color read-back
+// cycle performs no heap allocations (only the budget *error* path formats).
+// Calling it again without a fresh Start continues against the same budget.
+func (r *Runner) RunPhases() error {
+	maxPhases := r.cfg.MaxPhases
+	capped := maxPhases > 0
+	if !capped {
+		maxPhases = r.cfg.PhaseCap
+		if maxPhases <= 0 {
+			maxPhases = defaultPhaseCap(r.g.NumNodes())
+		}
+	}
+	for r.phases < maxPhases && !r.Complete() {
+		r.Phase()
+	}
+	// Budget exhaustion is judged against the run's frontier (live active
+	// uncolored nodes), not completeness of the full coloring: under a
+	// partial-activation mask frozen uncolored nodes legitimately stay
+	// uncolored.
+	if !r.Complete() && !capped {
+		return fmt.Errorf("%w (%d phases, %d nodes uncolored)",
+			ErrPhaseBudget, r.phases, r.live.Load())
+	}
+	return nil
+}
+
 // Finish assembles the Result of the run so far (the coloring slice is the
 // only allocation).
 func (r *Runner) Finish() Result {
@@ -558,30 +596,16 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 	if err := r.Start(cfg); err != nil {
 		return Result{}, err
 	}
-	maxPhases := cfg.MaxPhases
-	capped := maxPhases > 0
-	if !capped {
-		maxPhases = cfg.PhaseCap
-		if maxPhases <= 0 {
-			maxPhases = defaultPhaseCap(r.g.NumNodes())
-		}
-	}
-	for r.phases < maxPhases && !r.Complete() {
-		r.Phase()
-	}
+	budgetErr := r.RunPhases()
 	var res Result
 	if cfg.PackedOutput {
 		res = r.FinishPacked()
 	} else {
 		res = r.Finish()
 	}
-	// Budget exhaustion is judged against the run's frontier (live active
-	// uncolored nodes), not Result.Complete: under a partial-activation mask
-	// frozen uncolored nodes legitimately stay uncolored.
-	if !r.Complete() && !capped {
+	if budgetErr != nil {
 		res.BudgetExhausted = true
-		return res, fmt.Errorf("%w (%d phases, %d nodes uncolored)",
-			ErrPhaseBudget, res.Phases, r.live.Load())
+		return res, budgetErr
 	}
 	return res, nil
 }
