@@ -3,8 +3,9 @@
 // allocs/op. The snapshot starts the perf trajectory of the project: every
 // PR regenerates BENCH_<pr>.json through the CI bench step, so regressions
 // in the hot kernels (trial phases, verification, greedy picks, the message
-// plane, the distance-2 stream, the sweep grid, and since ISSUE 8 the
-// incremental repair and fault-decision kernels) are visible as diffs
+// plane, the distance-2 stream, the sweep grid, since ISSUE 8 the
+// incremental repair and fault-decision kernels, and since ISSUE 10 the
+// cancellation latency of an in-flight kernel run) are visible as diffs
 // between snapshots rather than anecdotes.
 //
 // Since ISSUE 7 the snapshot also carries the memory probe: peak resident
@@ -14,7 +15,7 @@
 //
 // Run from the repository root:
 //
-//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_9.json
+//	go run ./cmd/bench                      # 1-iteration smoke, BENCH_10.json
 //	go run ./cmd/bench -benchtime 5x        # steadier numbers
 //	go run ./cmd/bench -memprobe 0          # skip the n=1e6 memory probe
 //	go run ./cmd/bench -out snapshots/B.json
@@ -43,7 +44,7 @@ var pinnedSet = []struct {
 	pkg   string
 	bench string
 }{
-	{"./internal/trial", "BenchmarkTrialPhase$"},
+	{"./internal/trial", "BenchmarkTrialPhase$|BenchmarkCancelLatency$"},
 	{"./internal/verify", "BenchmarkVerify$|BenchmarkVerifyWarmed|BenchmarkVerifyOutOfRange"},
 	{"./internal/baseline", "BenchmarkGreedyD2$|BenchmarkJohanssonD1$"},
 	{"./internal/bitset", "BenchmarkFirstFreePick"},
@@ -88,7 +89,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "BENCH_9.json", "snapshot file to write")
+		out       = fs.String("out", "BENCH_10.json", "snapshot file to write")
 		benchtime = fs.String("benchtime", "1x", "-benchtime passed to go test (1x = smoke, 5x+ = steadier)")
 		memprobe  = fs.Int("memprobe", 1_000_000, "node count for the peak-RSS memory probe (0 disables)")
 	)

@@ -69,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Bool("parallel", false, "use the sharded engine for session kernels")
 		workers   = fs.Int("workers", 0, "sharded engine workers (0: GOMAXPROCS)")
 		selfcheck = fs.Bool("selfcheck", false, "serve on a loopback port, run a request cycle against it, and exit")
+		drainWait = fs.Duration("drain", 5*time.Second, "graceful-drain deadline on SIGTERM/SIGINT (in-flight work is hard-canceled past it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,7 +128,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(out, "shutting down")
+	// Graceful drain, in order: Drain flips /healthz to 503 "draining" and
+	// rejects new work immediately, finishes (or, past -drain, hard-cancels)
+	// every in-flight request, and closes every session's kernels; only then
+	// does the HTTP listener shut down — so a request that slipped in before
+	// the signal still gets its real answer, not a connection reset.
+	fmt.Fprintln(out, "draining")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainWait)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(out, "drain deadline passed, in-flight work canceled: %v\n", err)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -136,6 +147,7 @@ func run(args []string, out io.Writer) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	fmt.Fprintln(out, "drained, exiting")
 	return nil
 }
 

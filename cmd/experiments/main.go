@@ -1,11 +1,12 @@
-// Command experiments regenerates the experiment tables E1–E13 described in
+// Command experiments regenerates the experiment tables E1–E14 described in
 // EXPERIMENTS.md: E1–E10 reproduce the quantitative claims of the paper,
 // E11 is the million-node scale experiment, E12 is the churn-tolerance
-// experiment (incremental repair vs full rerun under fault epochs), and E13
-// is the serving-plane load experiment (closed-loop mixes against the
-// warm-session server). E11–E13 carry wall-clock/throughput/peak-RSS columns
-// that are inherently machine-dependent, hence excluded from byte-identity
-// guarantees. The sweeps are executed by the declarative grid
+// experiment (incremental repair vs full rerun under fault epochs), E13 is
+// the serving-plane load experiment (closed-loop mixes against the
+// warm-session server), and E14 is the chaos experiment (overload shedding,
+// deadline storms, panic quarantine, graceful drain). E11–E14 carry
+// wall-clock/throughput/peak-RSS columns that are inherently
+// machine-dependent, hence excluded from byte-identity guarantees. The sweeps are executed by the declarative grid
 // engine (internal/sweep): every workload × algorithm × engine cell fans out
 // over -jobs workers, and the generated tables are byte-identical for every
 // -jobs value up to the self-profiling wall-clock note each one ends with.

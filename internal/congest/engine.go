@@ -48,6 +48,11 @@ type Engine interface {
 	// SetFaults installs a fault model (message drops, transient crashes)
 	// for subsequent rounds; nil disables injection.
 	SetFaults(f FaultModel)
+	// SetCancel installs a cooperative cancellation hook polled between
+	// rounds: once it returns true, RunRounds returns early and Run returns
+	// ErrCanceled, both within O(one round). Nil disables polling. Cleared
+	// by Reset. See faults.go for the full contract.
+	SetCancel(f func() bool)
 	// Reset rewinds the engine to round 0 with per-node randomness re-seeded
 	// from seed, keeping the installed processes, the ID assignment and every
 	// pooled buffer — on the sharded engine that includes the worker team and
@@ -90,6 +95,9 @@ func (e *sequentialEngine) Run() (int, error) { return e.run(e.step) }
 
 func (e *sequentialEngine) RunRounds(k int) {
 	for i := 0; i < k; i++ {
+		if e.cancel != nil && e.cancel() {
+			return
+		}
 		e.step()
 	}
 }
@@ -164,6 +172,9 @@ func (e *shardedEngine) Run() (int, error) { return e.run(e.step) }
 
 func (e *shardedEngine) RunRounds(k int) {
 	for i := 0; i < k; i++ {
+		if e.cancel != nil && e.cancel() {
+			return
+		}
 		e.step()
 	}
 }

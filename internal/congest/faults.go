@@ -56,6 +56,18 @@ func (c *engineCore) SetActive(mask []bool) {
 // injection). Reset clears it.
 func (c *engineCore) SetFaults(f FaultModel) { c.faults = f }
 
+// SetCancel installs a cooperative cancellation hook, polled by RunRounds
+// (and Run) between rounds: the first poll that returns true stops the loop
+// before the next round starts, so a canceled run ends within O(one round)
+// regardless of how many rounds were requested. The hook is never consulted
+// mid-round — a round either runs to completion or not at all — which keeps
+// the per-round state machine (message plane epoch, inbox buffers, metrics)
+// consistent at every stopping point. Reset clears the hook along with the
+// activation mask and fault model, so warm reuse after a cancel is
+// byte-identical to a fresh engine. A nil hook (the default) disables
+// polling entirely; the hot path pays one nil check per round.
+func (c *engineCore) SetCancel(f func() bool) { c.cancel = f }
+
 // skipped reports whether node v sits out the current round — masked
 // inactive or inside a crash window. Used by both the compute and delivery
 // phases, which run within the same round, so the two observe the same

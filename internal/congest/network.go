@@ -87,6 +87,7 @@ var (
 	ErrRoundLimit  = errors.New("congest: protocol did not terminate within the round limit")
 	ErrNoProcess   = errors.New("congest: node has no process installed")
 	ErrNotNeighbor = errors.New("congest: attempted to send to a non-neighbor")
+	ErrCanceled    = errors.New("congest: run canceled")
 )
 
 // engineCore is the state shared by both engine implementations: the
@@ -119,6 +120,12 @@ type engineCore struct {
 	// Reset so warm reuse stays byte-identical to a fresh engine.
 	active []bool
 	faults FaultModel
+
+	// cancel is the optional cooperative cancellation hook, polled between
+	// rounds (never mid-round); see SetCancel in faults.go. Cleared by Reset
+	// for the same reason as active/faults: a warm reused engine must be
+	// byte-identical to a fresh one.
+	cancel func() bool
 }
 
 func newEngineCore(g *graph.Graph, cfg Config) engineCore {
@@ -258,6 +265,7 @@ func (c *engineCore) Reset(seed uint64) {
 	c.metrics = Metrics{}
 	c.active = nil
 	c.faults = nil
+	c.cancel = nil
 	clear(c.halted)
 	for v := range c.inboxes {
 		c.inboxes[v] = c.inboxes[v][:0]
@@ -328,6 +336,9 @@ func (c *engineCore) run(step func()) (int, error) {
 	for !c.AllHalted() {
 		if c.round-start >= c.cfg.MaxRounds {
 			return c.round, fmt.Errorf("%w (%d rounds)", ErrRoundLimit, c.cfg.MaxRounds)
+		}
+		if c.cancel != nil && c.cancel() {
+			return c.round, fmt.Errorf("%w (after %d rounds)", ErrCanceled, c.round-start)
 		}
 		step()
 	}

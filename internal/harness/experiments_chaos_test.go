@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE14Smoke runs the chaos experiment's quick pipeline twice with the same
+// seed and pins its deterministic columns byte-identically across the runs:
+// scenario names, session counts, offered request counts, and the invariant
+// verdicts (which fold in the structural claims — sheds happen at 2x
+// capacity, retries fire, cancels land, panic streaks quarantine without
+// leaking, the drain completes). The count and latency columns depend on
+// runtime interleaving and are volatile, checked only for shape.
+func TestE14Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios skipped in -short mode (CI runs this via its own step)")
+	}
+	run := func() *Table {
+		t.Helper()
+		table, err := runE14(Config{Quick: true, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	table := run()
+
+	wantScenarios := []string{"baseline/1x", "overload/2x", "overload/retry",
+		"deadline-storm", "panic-storm", "drain-under-load"}
+	if len(table.Rows) != len(wantScenarios) {
+		t.Fatalf("E14 should have %d scenario rows, got %d", len(wantScenarios), len(table.Rows))
+	}
+	col := func(name string) int {
+		for i, c := range table.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q", name)
+		return -1
+	}
+	scenCol, invCol := col("scenario"), col("invariant")
+	sessCol, offCol := col("sessions"), col("offered")
+	shedCol, retryCol, cancelCol := col("shed"), col("retried"), col("canceled")
+	panicsCol, quarCol := col("panics"), col("quar")
+
+	rows := map[string][]string{}
+	for i, row := range table.Rows {
+		if row[scenCol] != wantScenarios[i] {
+			t.Errorf("row %d: scenario %q, want %q", i, row[scenCol], wantScenarios[i])
+		}
+		rows[row[scenCol]] = row
+		// The invariant column folds every structural claim; anything but
+		// "ok" is a hardening regression.
+		if row[invCol] != "ok" {
+			t.Errorf("scenario %s: invariant = %q", row[scenCol], row[invCol])
+		}
+	}
+
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("non-integer count %q", s)
+		}
+		return v
+	}
+	// Structural outcomes beyond the invariant verdicts: the overload rows
+	// must show real shedding and retrying, the storm must cancel, and the
+	// panic storm must both panic and quarantine.
+	if atoi(rows["overload/2x"][shedCol]) == 0 {
+		t.Error("overload/2x: no requests shed at 2x capacity")
+	}
+	if atoi(rows["overload/retry"][retryCol]) == 0 {
+		t.Error("overload/retry: clients never retried")
+	}
+	if atoi(rows["deadline-storm"][cancelCol])+atoi(rows["deadline-storm"][retryCol]) == 0 {
+		t.Error("deadline-storm: no cancels or retries")
+	}
+	if atoi(rows["panic-storm"][panicsCol]) == 0 || atoi(rows["panic-storm"][quarCol]) == 0 {
+		t.Error("panic-storm: no panics recovered or no quarantines")
+	}
+	if atoi(rows["baseline/1x"][shedCol]) != 0 {
+		t.Error("baseline/1x: shed requests without overload")
+	}
+
+	// Rerun-and-compare: the deterministic columns must be byte-identical.
+	again := run()
+	if len(again.Rows) != len(table.Rows) {
+		t.Fatalf("rerun produced %d rows, want %d", len(again.Rows), len(table.Rows))
+	}
+	for i := range table.Rows {
+		for _, c := range []int{scenCol, sessCol, offCol, invCol} {
+			if table.Rows[i][c] != again.Rows[i][c] {
+				t.Errorf("row %d column %q differs across identical runs: %q vs %q",
+					i, table.Columns[c], table.Rows[i][c], again.Rows[i][c])
+			}
+		}
+	}
+}

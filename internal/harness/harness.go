@@ -192,6 +192,13 @@ func All() []Experiment {
 			Run:      runE13,
 			Volatile: true,
 		},
+		{
+			ID:       "E14",
+			Title:    "Chaos: overload shedding, deadline storms, panic quarantine, and graceful drain",
+			Claim:    "ROADMAP robustness item: the serving plane degrades predictably — bounded queues shed excess load, deadlines cancel cooperatively with warm kernels reusable byte-identically, panics quarantine without leaks, drains complete against a deadline",
+			Run:      runE14,
+			Volatile: true,
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

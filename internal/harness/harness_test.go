@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsDefined(t *testing.T) {
 	exps := All()
-	if len(exps) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(exps))
 	}
 	seen := make(map[string]bool)
 	for _, e := range exps {

@@ -82,6 +82,15 @@ type Options struct {
 	// repairs then simply report Complete == false; Stabilize loops until
 	// the coloring is clean anyway.
 	Faults congest.FaultModel
+	// Cancel is an optional cooperative cancellation hook threaded into every
+	// kernel the session drives: the trial configs of both repair modes (so a
+	// confined run stops within O(one simulated round)), the conflict-scan
+	// checker, and Stabilize's iteration loop. A canceled call returns
+	// trial.ErrCanceled (wrapped); the session itself stays fully usable —
+	// the working coloring simply keeps whatever the interrupted run had
+	// committed, which is always a valid partial state (colors are only ever
+	// written after a run finishes its read-back). nil disables polling.
+	Cancel func() bool
 	// ScratchReports makes Repair reuse one session-owned buffer for
 	// Report.Recolored instead of allocating a fresh slice per call: the
 	// returned slice is then valid only until the next Repair on this
@@ -158,9 +167,13 @@ func NewSession(g *graph.Graph, colors coloring.Coloring, opts Options) *Session
 		panic(fmt.Sprintf("repair: coloring has %d entries for %d nodes", len(colors), n))
 	}
 	s := &Session{opts: opts, checker: verify.NewChecker()}
+	s.checker.SetCancel(opts.Cancel)
 	s.bind(g, colors)
 	return s
 }
+
+// canceled reports whether the session's cancellation hook has fired.
+func (s *Session) canceled() bool { return s.opts.Cancel != nil && s.opts.Cancel() }
 
 func (s *Session) bind(g *graph.Graph, colors coloring.Coloring) {
 	s.g = g
@@ -236,6 +249,9 @@ func (s *Session) Repair(dirty []graph.NodeID, seed uint64) (Report, error) {
 	}
 	if len(s.dirty) == 0 {
 		return Report{Complete: true}, nil
+	}
+	if s.canceled() {
+		return Report{}, fmt.Errorf("repair: %w", trial.ErrCanceled)
 	}
 	slices.Sort(s.dirty)
 
@@ -346,6 +362,7 @@ func (s *Session) repairLocal(seed uint64) (Report, error) {
 		PreloadInitial: true,
 		ExtraKnown:     extra,
 		Faults:         s.opts.Faults,
+		Cancel:         s.opts.Cancel,
 	})
 	if err != nil {
 		return Report{}, err
@@ -394,6 +411,7 @@ func (s *Session) repairGlobal(seed uint64) (Report, error) {
 		Initial:     s.initial,
 		Active:      s.active,
 		Faults:      s.opts.Faults,
+		Cancel:      s.opts.Cancel,
 	}); err != nil {
 		return Report{}, err
 	}
@@ -441,6 +459,9 @@ func (s *Session) Stabilize(seed uint64, maxIters int) ([]Report, error) {
 	var reports []Report
 	var dirty []graph.NodeID
 	for iter := 0; iter < maxIters; iter++ {
+		if s.canceled() {
+			return reports, fmt.Errorf("repair: stabilize %w", trial.ErrCanceled)
+		}
 		dirty = s.checker.AppendConflictNodesD2(s.g, s.colors, dirty[:0])
 		// Sweep in uncolored nodes: self-stabilization must also finish
 		// nodes that churn or loss left colorless.

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math"
+	"time"
+)
+
+// This file is the chaos harness: deterministic fault injection for the
+// serving plane, mirroring internal/fault's design for the simulator —
+// SplitMix64-seeded streams for scheduling-shaped faults, hash-pure plans
+// where a fault must be a function of the request alone. Transport-side
+// faults (delayed dispatch, deadline storms) live in ChaosTransport, a
+// middleware any Transport composes with; worker-panic injection is
+// server-side, through Options.ChaosPanic and the PanicPlan builder.
+
+// ChaosOptions shapes one chaos run. The zero value injects nothing.
+type ChaosOptions struct {
+	// Seed roots every fault stream (per-worker transports derive disjoint
+	// streams from it; PanicPlan hashes it into every decision).
+	Seed uint64
+	// DelayFraction of dispatches sleep a uniform duration up to MaxDelay
+	// before reaching the wire — scheduling jitter that breaks up the
+	// closed-loop lockstep and widens batching windows unpredictably.
+	DelayFraction float64
+	MaxDelay      time.Duration
+	// CancelFraction of requests have their deadline forced to
+	// StormDeadlineMillis (default 1ms) — the deadline storm: most of these
+	// cancel while queued or mid-kernel, exercising the cooperative
+	// cancellation path under load.
+	CancelFraction      float64
+	StormDeadlineMillis int64
+	// PanicFraction of requests (hash-pure per request content, see
+	// PanicPlan) panic inside the session worker — the crash-isolation and
+	// quarantine driver. Transport middleware cannot inject these; RunLoad
+	// installs PanicPlan(Seed, PanicFraction) as the in-process server's
+	// ChaosPanic hook.
+	PanicFraction float64
+}
+
+// transportActive reports whether any transport-side fault is configured.
+func (o ChaosOptions) transportActive() bool {
+	return (o.DelayFraction > 0 && o.MaxDelay > 0) || o.CancelFraction > 0
+}
+
+// forWorker derives the worker-local option set: same shape, disjoint seed —
+// so per-worker fault streams are independent and the whole run is
+// reproducible from one root seed.
+func (o ChaosOptions) forWorker(w int) ChaosOptions {
+	o.Seed = o.Seed ^ (uint64(w+1) * 0x2545f4914f6cdd1d)
+	return o
+}
+
+// ChaosTransport is fault-injecting middleware around any Transport. Like
+// the transports it wraps it is not safe for concurrent use; create one per
+// worker (forWorker keeps their streams disjoint).
+type ChaosTransport struct {
+	inner Transport
+	opts  ChaosOptions
+	rng   splitmix64
+}
+
+// NewChaosTransport wraps inner with the configured fault injection.
+func NewChaosTransport(inner Transport, opts ChaosOptions) *ChaosTransport {
+	return &ChaosTransport{inner: inner, opts: opts, rng: splitmix64{state: opts.Seed ^ 0x9e3779b97f4a7c15}}
+}
+
+// Do injects the configured faults, then forwards to the wrapped transport.
+// A forced storm deadline overwrites the request's own DeadlineMillis and
+// persists across the caller's retries of the same request — a client
+// retrying into a storm keeps its tightened deadline, which is exactly the
+// cascading-timeout shape the harness wants to exercise.
+func (t *ChaosTransport) Do(req *Request, resp *Response) error {
+	if f := t.opts.DelayFraction; f > 0 && t.opts.MaxDelay > 0 && t.rng.float64() < f {
+		time.Sleep(time.Duration(t.rng.float64() * float64(t.opts.MaxDelay)))
+	}
+	if f := t.opts.CancelFraction; f > 0 && t.rng.float64() < f {
+		d := t.opts.StormDeadlineMillis
+		if d <= 0 {
+			d = 1
+		}
+		req.DeadlineMillis = d
+	}
+	return t.inner.Do(req, resp)
+}
+
+// PanicPlan builds a deterministic Options.ChaosPanic hook: whether a request
+// panics is a pure hash of (seed, op, session, request seed, corrupt count),
+// independent of scheduling order or which worker executes it. Under a
+// deterministic load schedule the set of panicking request contents is
+// therefore itself deterministic — identical requests panic identically, so
+// a hot-key storm produces the consecutive-panic streaks that trip the
+// quarantine. Returns nil for fraction <= 0; fraction >= 1 panics on
+// everything.
+func PanicPlan(seed uint64, fraction float64) func(*Request) bool {
+	if fraction <= 0 {
+		return nil
+	}
+	if fraction >= 1 {
+		return func(*Request) bool { return true }
+	}
+	limit := uint64(fraction * float64(math.MaxUint64))
+	return func(req *Request) bool {
+		return hashRequest(seed, req) < limit
+	}
+}
+
+// hashRequest is FNV-64a over the request's identity fields, finalized with
+// a SplitMix64 mix so low-entropy inputs still spread across the full range.
+func hashRequest(seed uint64, req *Request) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ seed
+	fold := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator
+		h *= prime64
+	}
+	fold(string(req.Op))
+	fold(req.Session)
+	fold(req.Algorithm)
+	w := req.Seed ^ uint64(req.Corrupt)<<48
+	for b := 0; b < 8; b++ {
+		h ^= w & 0xff
+		h *= prime64
+		w >>= 8
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

@@ -33,11 +33,32 @@ func errorCode(err error) (code string, status int) {
 		return "not-d2", http.StatusConflict
 	case errors.Is(err, ErrServerClosed):
 		return "server-closed", http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded", http.StatusServiceUnavailable
+	case errors.Is(err, ErrDraining):
+		return "draining", http.StatusServiceUnavailable
+	case errors.Is(err, ErrQuarantined):
+		return "quarantined", http.StatusServiceUnavailable
+	case errors.Is(err, ErrCanceled):
+		return "canceled", http.StatusGatewayTimeout
+	case errors.Is(err, ErrPanicked):
+		return "panic", http.StatusInternalServerError
 	case errors.Is(err, ErrBadRequest):
 		return "bad-request", http.StatusBadRequest
 	default:
 		return "internal", http.StatusInternalServerError
 	}
+}
+
+// retryable reports whether a wire code marks a transient rejection worth a
+// client-side backoff-and-retry (the 503 family: the request was never
+// executed, the server just refused it right now).
+func retryable(code string) bool {
+	switch code {
+	case "overloaded", "draining", "quarantined":
+		return true
+	}
+	return false
 }
 
 // codeError maps a wire code back to its sentinel (the reverse of errorCode);
@@ -56,6 +77,16 @@ func codeError(code, message string) error {
 		return ErrNotD2
 	case "server-closed":
 		return ErrServerClosed
+	case "overloaded":
+		return ErrOverloaded
+	case "draining":
+		return ErrDraining
+	case "quarantined":
+		return ErrQuarantined
+	case "canceled":
+		return ErrCanceled
+	case "panic":
+		return ErrPanicked
 	case "bad-request":
 		return ErrBadRequest
 	default:
@@ -83,7 +114,10 @@ func NewHandler(s *Server) http.Handler {
 			return
 		}
 		var resp Response
-		if err := s.Do(&req, &resp); err != nil {
+		// The request context links cancellation: a client that disconnects
+		// (or whose request deadline passes server-side) stops burning kernel
+		// time within O(one simulated round).
+		if err := s.DoContext(r.Context(), &req, &resp); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -94,6 +128,13 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, &st)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			// Fail readiness the moment a drain starts, so load balancers
+			// hand traffic off while in-flight work finishes.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
 	})
@@ -108,6 +149,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	code, status := errorCode(err)
+	if retryable(code) {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, wireError{Code: code, Error: err.Error()})
 }
 

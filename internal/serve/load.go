@@ -53,6 +53,27 @@ type LoadSpec struct {
 	Mode      repair.Mode
 	Parallel  bool
 	Workers   int
+	// Overload shape (RunLoad's in-process server; remote servers bring their
+	// own): per-session queue depth, in-flight byte budget, and the
+	// consecutive-panic quarantine threshold (all 0 = serve defaults).
+	QueueDepth      int
+	InflightBudget  int64
+	QuarantineAfter int
+	// DeadlineMillis attaches a per-request deadline to every load request
+	// (0: none).
+	DeadlineMillis int64
+	// Retries caps client-side retries of transiently rejected requests —
+	// the 503 family (overloaded/draining/quarantined) and deadline cancels.
+	// Each retry backs off exponentially from RetryBase (0: 200µs), capped at
+	// 16× and jittered from a dedicated seeded stream, so retry timing never
+	// perturbs the deterministic request schedule. 0 disables retries.
+	Retries   int
+	RetryBase time.Duration
+	// Chaos configures fault injection: transport-side faults (delays,
+	// deadline storms) wrap every worker transport in a ChaosTransport;
+	// PanicFraction additionally installs PanicPlan as the in-process
+	// server's ChaosPanic hook.
+	Chaos ChaosOptions
 }
 
 func (s LoadSpec) algorithm() string {
@@ -102,6 +123,28 @@ type LoadReport struct {
 	P99 time.Duration `json:"p99"`
 	Max time.Duration `json:"max"`
 
+	// Overload outcome, client-side. Retried counts retry attempts issued
+	// (a request shed then accepted on retry contributes to Retried but not
+	// Shed); Canceled counts requests whose final outcome after retries was
+	// ErrCanceled, Shed those finally rejected for load reasons (the 503
+	// family, or an eviction-churn race that outlived every reopen+retry).
+	// The Accepted percentiles cover only ultimately-successful requests,
+	// timed end-to-end including their retries and backoff — the tail a
+	// well-behaved client actually sees under overload (the plain P50/P95/P99
+	// above include rejected requests, whose fast 503s drag the distribution
+	// down).
+	Retried     int           `json:"retried,omitempty"`
+	Shed        int           `json:"shed,omitempty"`
+	Canceled    int           `json:"canceled,omitempty"`
+	AcceptedP50 time.Duration `json:"acceptedP50,omitempty"`
+	AcceptedP95 time.Duration `json:"acceptedP95,omitempty"`
+	AcceptedP99 time.Duration `json:"acceptedP99,omitempty"`
+
+	// Server-side overload counters (from the stats op after the run).
+	ServerShed   int64 `json:"serverShed,omitempty"`
+	ServerPanics int64 `json:"serverPanics,omitempty"`
+	Quarantined  int64 `json:"quarantined,omitempty"`
+
 	RequestsPerSec float64 `json:"requestsPerSec"`
 	// Colorings counts full-coloring responses served (color requests,
 	// including coalesced ones and cache-miss reopens); ColoringsPerSec is
@@ -142,12 +185,16 @@ func (r *splitmix64) intn(n int) int {
 // against it with per-worker Clients, and tears it down.
 func RunLoad(spec LoadSpec) (LoadReport, error) {
 	srv := NewServer(Options{
-		ResidentBudget: spec.Budget,
-		Unbatched:      spec.Unbatched,
-		BatchMax:       spec.BatchMax,
-		RepairMode:     spec.Mode,
-		Parallel:       spec.Parallel,
-		Workers:        spec.Workers,
+		ResidentBudget:  spec.Budget,
+		Unbatched:       spec.Unbatched,
+		BatchMax:        spec.BatchMax,
+		RepairMode:      spec.Mode,
+		Parallel:        spec.Parallel,
+		Workers:         spec.Workers,
+		QueueDepth:      spec.QueueDepth,
+		InflightBudget:  spec.InflightBudget,
+		QuarantineAfter: spec.QuarantineAfter,
+		ChaosPanic:      PanicPlan(spec.Chaos.Seed, spec.Chaos.PanicFraction),
 	})
 	defer srv.Close()
 	return RunLoadWith(func() Transport { return srv.NewClient() }, spec)
@@ -184,10 +231,17 @@ func RunLoadWith(newTransport func() Transport, spec LoadSpec) (LoadReport, erro
 		if w < extra {
 			n++
 		}
+		tr := newTransport()
+		if spec.Chaos.transportActive() {
+			// One chaos stream per worker, disjoint from the schedule stream:
+			// injected faults never perturb which requests are issued.
+			tr = NewChaosTransport(tr, spec.Chaos.forWorker(w))
+		}
 		workers[w] = &loadWorker{
 			spec:      spec,
-			transport: newTransport(),
+			transport: tr,
 			rng:       splitmix64{state: spec.Seed ^ (uint64(w+1) * 0xa5a5a5a5a5a5a5a5)},
+			jitter:    splitmix64{state: spec.Seed ^ (uint64(w+1) * 0xc6a4a7935bd1e995)},
 			budget:    n,
 			latencies: make([]time.Duration, 0, n),
 		}
@@ -213,14 +267,18 @@ func RunLoadWith(newTransport func() Transport, spec LoadSpec) (LoadReport, erro
 		Unbatched:   spec.Unbatched,
 		Elapsed:     elapsed,
 	}
-	var all []time.Duration
+	var all, accepted []time.Duration
 	for _, w := range workers {
 		all = append(all, w.latencies...)
+		accepted = append(accepted, w.accepted...)
 		rep.Requests += len(w.latencies)
 		rep.Errors += w.errors
 		rep.Reopens += w.reopens
 		rep.Colorings += w.colorings
 		rep.RecoloredNodes += w.recolored
+		rep.Retried += w.retried
+		rep.Shed += w.shed
+		rep.Canceled += w.canceled
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep.P50 = quantile(all, 0.50)
@@ -229,6 +287,10 @@ func RunLoadWith(newTransport func() Transport, spec LoadSpec) (LoadReport, erro
 	if len(all) > 0 {
 		rep.Max = all[len(all)-1]
 	}
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i] < accepted[j] })
+	rep.AcceptedP50 = quantile(accepted, 0.50)
+	rep.AcceptedP95 = quantile(accepted, 0.95)
+	rep.AcceptedP99 = quantile(accepted, 0.99)
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.RequestsPerSec = float64(rep.Requests) / secs
 		rep.ColoringsPerSec = float64(rep.Colorings) / secs
@@ -247,6 +309,9 @@ func RunLoadWith(newTransport func() Transport, spec LoadSpec) (LoadReport, erro
 			rep.MeanBatch = float64(reqs) / float64(batches)
 		}
 		rep.Evictions = resp.Stats.Evicted
+		rep.ServerShed = resp.Stats.Shed
+		rep.ServerPanics = resp.Stats.Panics
+		rep.Quarantined = resp.Stats.Quarantined
 	}
 	return rep, nil
 }
@@ -273,14 +338,19 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 type loadWorker struct {
 	spec      LoadSpec
 	transport Transport
-	rng       splitmix64
+	rng       splitmix64 // schedule stream: which requests to issue
+	jitter    splitmix64 // backoff stream: retry jitter only, never the schedule
 	budget    int
 
 	latencies []time.Duration
+	accepted  []time.Duration // latencies of ultimately-successful requests
 	errors    int
 	reopens   int
 	colorings int
 	recolored int64
+	retried   int
+	shed      int
+	canceled  int
 }
 
 func (w *loadWorker) run() {
@@ -306,24 +376,32 @@ func (w *loadWorker) run() {
 			seed := w.spec.Seed + w.rng.next()%w.spec.colorSeeds()
 			req = Request{Op: OpColor, Session: ses, Algorithm: w.spec.algorithm(), Seed: seed}
 		}
+		req.DeadlineMillis = w.spec.DeadlineMillis
 		start := time.Now()
-		err := w.transport.Do(&req, &resp)
-		for attempt := 0; errors.Is(err, ErrUnknownSession) && attempt < 3; attempt++ {
-			// The session was evicted under the resident budget: reopen and
-			// recolor it — the cold path a cache miss costs a real client —
-			// then retry, all inside this request's latency window.
-			if w.reopen(ses) {
-				w.reopens++
-				err = w.transport.Do(&req, &resp)
-			} else {
-				break
-			}
+		err := w.attempt(&req, &resp, ses)
+		for retry := 0; retry < w.spec.Retries && transientError(err); retry++ {
+			// Transient rejection (503 family, deadline cancel, or an
+			// eviction-churn race): back off with capped exponential + jitter,
+			// then retry. The jitter draws come from a stream disjoint from
+			// the schedule stream, so retry timing never changes which
+			// requests this worker issues.
+			w.retried++
+			w.backoff(retry)
+			err = w.attempt(&req, &resp, ses)
 		}
-		w.latencies = append(w.latencies, time.Since(start))
+		lat := time.Since(start)
+		w.latencies = append(w.latencies, lat)
 		if err != nil {
 			w.errors++
+			switch {
+			case errors.Is(err, ErrCanceled):
+				w.canceled++
+			case transientError(err):
+				w.shed++
+			}
 			continue
 		}
+		w.accepted = append(w.accepted, lat)
 		switch req.Op {
 		case OpColor:
 			w.colorings++
@@ -333,22 +411,81 @@ func (w *loadWorker) run() {
 	}
 }
 
+// attempt is one issue of the request, including the reopen-on-cache-miss
+// path (an evicted or quarantined session looks like one that never existed).
+func (w *loadWorker) attempt(req *Request, resp *Response, ses string) error {
+	err := w.transport.Do(req, resp)
+	for attempt := 0; errors.Is(err, ErrUnknownSession) && attempt < 3; attempt++ {
+		// The session was evicted under the resident budget: reopen and
+		// recolor it — the cold path a cache miss costs a real client —
+		// then retry, all inside this request's latency window.
+		ok, reopenErr := w.reopen(ses)
+		if !ok {
+			if retryableError(reopenErr) {
+				// The reopen itself was rejected transiently (e.g. the recolor
+				// shed against a full queue): surface that instead of the
+				// unknown-session it caused, so the outer backoff loop retries
+				// the whole request rather than giving up on the session.
+				return reopenErr
+			}
+			break
+		}
+		w.reopens++
+		err = w.transport.Do(req, resp)
+	}
+	return err
+}
+
+// retryableError matches the outcomes a client-side retry can fix: transient
+// 503s, deadline cancels, and the not-colored window while a concurrent
+// worker's reopen has re-created the session but its initial color is still
+// in flight. Unknown-session is handled by reopen inside attempt, and hard
+// errors (bad request, closed server) never retry.
+func retryableError(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrQuarantined) || errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrNotColored)
+}
+
+// transientError additionally covers an unknown-session that survived the
+// reopen attempts — under heavy eviction churn the reopened session can be
+// evicted again before the request lands, and a fresh backoff + reopen cycle
+// is exactly what a real client would do.
+func transientError(err error) bool {
+	return retryableError(err) || errors.Is(err, ErrUnknownSession)
+}
+
+// backoff sleeps the capped exponential delay for the given retry ordinal:
+// base·2^retry capped at 16·base, scaled by a jitter factor in [0.5, 1.5).
+func (w *loadWorker) backoff(retry int) {
+	base := w.spec.RetryBase
+	if base <= 0 {
+		base = 200 * time.Microsecond
+	}
+	d := base << uint(retry)
+	if max := 16 * base; d > max {
+		d = max
+	}
+	time.Sleep(time.Duration((0.5 + w.jitter.float64()) * float64(d)))
+}
+
 // reopen rebuilds an evicted session (open + initial color). A concurrent
 // worker may win the race; ErrSessionExists means the session is back either
-// way.
-func (w *loadWorker) reopen(ses string) bool {
+// way. On failure it reports the blocking error so the caller can tell a
+// transient rejection (shed recolor under overload) from a hard one.
+func (w *loadWorker) reopen(ses string) (bool, error) {
 	var resp Response
 	idx := 0
 	fmt.Sscanf(ses, "s%d", &idx)
 	req := Request{Op: OpOpen, Session: ses, Spec: w.spec.sessionSpec(idx)}
 	if err := w.transport.Do(&req, &resp); err != nil && !errors.Is(err, ErrSessionExists) {
-		return false
+		return false, err
 	}
 	req = Request{Op: OpColor, Session: ses, Algorithm: w.spec.algorithm(), Seed: w.spec.Seed}
 	if err := w.transport.Do(&req, &resp); err != nil && !errors.Is(err, ErrUnknownSession) {
-		return false
+		return false, err
 	}
-	return true
+	return true, nil
 }
 
 // estimateSessionBytes mirrors the server's admission estimate (the

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"d2color/internal/alg"
 	"d2color/internal/coloring"
+	"d2color/internal/congest"
 	"d2color/internal/fault"
 	"d2color/internal/graph"
 	"d2color/internal/repair"
@@ -24,6 +27,11 @@ type session struct {
 	est      int64
 	reqs     chan *call
 	lastUsed atomic.Int64
+	pending  atomic.Int64 // queued-or-executing requests; the admission bound
+
+	// cancelFn is canceledNow bound once at open, so installing it into the
+	// warm kernels (trial runner, checker, repair session) never allocates.
+	cancelFn func() bool
 
 	// Worker-owned warm state, built lazily on first use.
 	tk        *trial.Runner
@@ -35,6 +43,15 @@ type session struct {
 	isD2      bool
 	memo      batchMemo
 
+	// Worker-owned failure state. cur is the request currently executing —
+	// the kernels' cancel hook reads it between simulated rounds (always on
+	// this worker's stack, so no lock). panicStreak counts consecutive
+	// ErrPanicked requests; condemned persists a quarantine decision across
+	// batches when an evictor beat removeQuarantined to the session.
+	cur         *call
+	panicStreak int
+	condemned   bool
+
 	nRequests atomic.Int64
 	nColor    atomic.Int64
 	nVerify   atomic.Int64
@@ -43,6 +60,27 @@ type session struct {
 	nBatched  atomic.Int64 // requests that shared a window with at least one other
 	maxBatch  atomic.Int64
 	coalesced atomic.Int64
+	nShed     atomic.Int64
+	nCanceled atomic.Int64
+	nPanics   atomic.Int64
+}
+
+// canceledNow is the cooperative cancel hook every warm kernel polls (the
+// trial runner and checker via SetCancel, the repair session via
+// Options.Cancel). It runs on the worker goroutine between simulated rounds
+// or scan strides: true once the server is hard-canceling (a drain past its
+// deadline) or the current request's own cancel flag has tripped (deadline
+// timer, disconnected HTTP client).
+func (ses *session) canceledNow() bool {
+	if ses.srv.hardCancel.Load() {
+		return true
+	}
+	c := ses.cur
+	if c == nil {
+		return false
+	}
+	p := c.cancel.Load()
+	return p != nil && p.Load()
 }
 
 // batchMemo caches read-shaped results within one dispatch window: verify
@@ -92,8 +130,9 @@ func (ses *session) loop() {
 	}
 }
 
-// runBatch executes one dispatch window and reports whether the shutdown
-// sentinel was seen (the worker must then exit; kernels are already closed).
+// runBatch executes one dispatch window and reports whether the worker must
+// exit — either the shutdown sentinel was seen or the worker quarantined its
+// own session after a panic streak (kernels are closed in both cases).
 func (ses *session) runBatch(batch []*call) (shutdown bool) {
 	ses.nBatches.Add(1)
 	if n := int64(len(batch)); n > 1 {
@@ -105,6 +144,7 @@ func (ses *session) runBatch(batch []*call) (shutdown bool) {
 		ses.maxBatch.Store(1)
 	}
 	ses.memo = batchMemo{}
+	quarantine := ses.condemned
 	var sentinel *call
 	for _, c := range batch {
 		if c.shutdown {
@@ -115,41 +155,24 @@ func (ses *session) runBatch(batch []*call) (shutdown bool) {
 			continue
 		}
 		ses.nRequests.Add(1)
-		switch c.req.Op {
-		case OpVerify:
-			ses.nVerify.Add(1)
-			if ses.memo.verifyOK {
-				ses.coalesced.Add(1)
-				*c.resp = ses.memo.verify
-			} else if c.err = ses.doVerify(c.resp); c.err == nil {
-				ses.memo.verifyOK = true
-				ses.memo.verify = *c.resp
-			}
-		case OpColor:
-			ses.nColor.Add(1)
-			name := c.req.Algorithm
-			if name == "" {
-				name = "relaxed"
-			}
-			if ses.memo.colorOK && ses.memo.colorAlg == name && ses.memo.colorSeed == c.req.Seed {
-				ses.coalesced.Add(1)
-				*c.resp = ses.memo.color
-			} else if c.err = ses.doColor(c.req, c.resp); c.err == nil {
-				// A fresh run with different parameters replaced the working
-				// coloring; a memo-hit rerun would have produced the same
-				// bytes, so the verify memo only drops on the former.
-				ses.memo = batchMemo{colorOK: true, colorAlg: name, colorSeed: c.req.Seed, color: *c.resp}
-			} else {
-				ses.memo = batchMemo{}
-			}
-		case OpRecolor:
-			ses.nRecolor.Add(1)
-			ses.memo = batchMemo{}
-			c.err = ses.doRecolor(c.req, c.resp)
-		default:
-			c.err = ErrBadRequest
+		if quarantine {
+			// Already condemned this batch (or a previous one, if an evictor
+			// won the removal race): fail fast, never touch the kernels again.
+			c.err = ErrQuarantined
+			ses.finish(c)
+			continue
 		}
-		c.done <- struct{}{}
+		ses.serveOne(c)
+		if errors.Is(c.err, ErrPanicked) {
+			ses.panicStreak++
+			if k := ses.srv.opts.quarantineAfter(); k > 0 && ses.panicStreak >= k {
+				quarantine = true
+				ses.condemned = true
+			}
+		} else if c.err == nil {
+			ses.panicStreak = 0
+		}
+		ses.finish(c)
 	}
 	if sentinel != nil {
 		ses.closeKernels()
@@ -157,7 +180,121 @@ func (ses *session) runBatch(batch []*call) (shutdown bool) {
 		sentinel.done <- struct{}{}
 		return true
 	}
+	if quarantine {
+		if ses.srv.removeQuarantined(ses) {
+			// The worker owns the shutdown: no dispatcher can find the
+			// session anymore and sends happen under the read lock
+			// removeQuarantined just excluded, so a non-blocking drain
+			// observes every call that was ever queued.
+			ses.drainQuarantined()
+			ses.closeKernels()
+			ses.srv.shutdowns.Add(1)
+			return true
+		}
+		// An evictor or Close removed the session first; its sentinel is
+		// already queued. Keep looping — condemned requests fail fast above —
+		// until the sentinel arrives.
+	}
 	return false
+}
+
+// serveOne executes one request on the worker with panic isolation: finishOne
+// is the deferred recovery point, so a panicking kernel fails only this
+// request and the worker survives to serve (or quarantine) the rest.
+func (ses *session) serveOne(c *call) {
+	defer ses.finishOne(c)
+	ses.cur = c
+	if ses.cancelFn() {
+		// Canceled while queued (deadline storm, drain hard-cancel): answer
+		// without touching a kernel.
+		c.err = ErrCanceled
+		return
+	}
+	if hook := ses.srv.opts.ChaosPanic; hook != nil && hook(c.req) {
+		panic("chaos: injected worker panic")
+	}
+	switch c.req.Op {
+	case OpVerify:
+		ses.nVerify.Add(1)
+		if ses.memo.verifyOK {
+			ses.coalesced.Add(1)
+			*c.resp = ses.memo.verify
+		} else if c.err = ses.doVerify(c.resp); c.err == nil {
+			ses.memo.verifyOK = true
+			ses.memo.verify = *c.resp
+		}
+	case OpColor:
+		ses.nColor.Add(1)
+		name := c.req.Algorithm
+		if name == "" {
+			name = "relaxed"
+		}
+		if ses.memo.colorOK && ses.memo.colorAlg == name && ses.memo.colorSeed == c.req.Seed {
+			ses.coalesced.Add(1)
+			*c.resp = ses.memo.color
+		} else if c.err = ses.doColor(c.req, c.resp); c.err == nil {
+			// A fresh run with different parameters replaced the working
+			// coloring; a memo-hit rerun would have produced the same
+			// bytes, so the verify memo only drops on the former.
+			ses.memo = batchMemo{colorOK: true, colorAlg: name, colorSeed: c.req.Seed, color: *c.resp}
+		} else {
+			ses.memo = batchMemo{}
+		}
+	case OpRecolor:
+		ses.nRecolor.Add(1)
+		ses.memo = batchMemo{}
+		c.err = ses.doRecolor(c.req, c.resp)
+	default:
+		c.err = ErrBadRequest
+	}
+}
+
+// finishOne is serveOne's deferred epilogue: recover a kernel panic into a
+// structured ErrPanicked, fold the kernels' cooperative-cancel sentinels into
+// serve's own, and clear the current-request hook either way.
+func (ses *session) finishOne(c *call) {
+	ses.cur = nil
+	if p := recover(); p != nil {
+		ses.srv.panics.Add(1)
+		ses.nPanics.Add(1)
+		// Whatever the panicking op half-wrote is suspect; drop the window's
+		// memo so no later request coalesces onto it.
+		ses.memo = batchMemo{}
+		c.err = fmt.Errorf("%w: %v", ErrPanicked, p)
+		return
+	}
+	if c.err != nil &&
+		(errors.Is(c.err, ErrCanceled) || errors.Is(c.err, trial.ErrCanceled) || errors.Is(c.err, congest.ErrCanceled)) {
+		c.err = ErrCanceled
+		ses.srv.canceled.Add(1)
+		ses.nCanceled.Add(1)
+	}
+}
+
+// finish answers one dispatched call: undo its admission accounting (the
+// session's pending count and, when it was the last in-flight request, the
+// server-wide in-flight bytes), then release the waiter.
+func (ses *session) finish(c *call) {
+	if ses.pending.Add(-1) == 0 {
+		ses.srv.inflightBytes.Add(-ses.est)
+	}
+	c.done <- struct{}{}
+}
+
+// drainQuarantined fails every still-queued request after the worker removed
+// its own session from the cache (removeQuarantined returned true: no
+// sentinel is queued and no new dispatcher can reach the channel).
+func (ses *session) drainQuarantined() {
+	for {
+		select {
+		case c := <-ses.reqs:
+			ses.nRequests.Add(1)
+			c.err = ErrQuarantined
+			ses.finish(c)
+		default:
+			return
+		}
+	}
 }
 
 // closeKernels releases the warm kernels (and through them their
@@ -180,6 +317,10 @@ func (ses *session) closeKernels() {
 func (ses *session) kernel() *trial.Runner {
 	if ses.tk == nil {
 		ses.tk = trial.NewRunner(ses.g, ses.srv.opts.Parallel, ses.srv.opts.Workers)
+		// The runner-level hook points at "the current request's cancel
+		// flag", so the long-lived kernel follows per-request deadlines
+		// without threading Cancel through every registry algorithm's Config.
+		ses.tk.SetCancel(ses.cancelFn)
 	}
 	return ses.tk
 }
@@ -187,6 +328,7 @@ func (ses *session) kernel() *trial.Runner {
 func (ses *session) lazyChecker() *verify.Checker {
 	if ses.checker == nil {
 		ses.checker = verify.NewChecker()
+		ses.checker.SetCancel(ses.cancelFn)
 	}
 	return ses.checker
 }
@@ -222,6 +364,12 @@ func (ses *session) doColor(req *Request, resp *Response) error {
 	resp.Metrics = res.Metrics
 	if ses.isD2 {
 		rep := ses.lazyChecker().CheckD2(ses.g, res.Coloring, res.PaletteSize)
+		if rep.Canceled {
+			// The run itself finished (the coloring is installed), but its
+			// validation was cut short — report cancellation rather than an
+			// unverified "valid: false".
+			return ErrCanceled
+		}
 		resp.Valid = rep.Valid
 		resp.ColorsUsed = rep.ColorsUsed
 		resp.MaxColor = rep.MaxColor
@@ -246,6 +394,9 @@ func (ses *session) doVerify(resp *Response) error {
 		return ErrNotColored
 	}
 	rep := ses.lazyChecker().CheckD2(ses.g, ses.colors, ses.palette)
+	if rep.Canceled {
+		return ErrCanceled
+	}
 	resp.Algorithm = ses.algorithm
 	resp.Hash = HashColors(ses.colors)
 	resp.PaletteSize = ses.palette
@@ -273,6 +424,7 @@ func (ses *session) doRecolor(req *Request, resp *Response) error {
 			Parallel:       ses.srv.opts.Parallel,
 			Workers:        ses.srv.opts.Workers,
 			ScratchReports: true,
+			Cancel:         ses.cancelFn,
 		})
 		// The repair session copies and then owns the working coloring;
 		// alias it so verify sees every repair.
@@ -340,5 +492,9 @@ func (ses *session) statsSnapshot() SessionStats {
 		BatchedRequests: ses.nBatched.Load(),
 		MaxBatch:        ses.maxBatch.Load(),
 		Coalesced:       ses.coalesced.Load(),
+		QueueDepth:      ses.pending.Load(),
+		Shed:            ses.nShed.Load(),
+		Canceled:        ses.nCanceled.Load(),
+		Panics:          ses.nPanics.Load(),
 	}
 }

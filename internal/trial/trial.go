@@ -158,6 +158,16 @@ type Config struct {
 	// instead of 8 bytes, the representation the 10⁷-node scale runs keep.
 	// The colors themselves are byte-identical to the unpacked run.
 	PackedOutput bool
+	// Cancel is an optional cooperative cancellation hook, the request-scoped
+	// sibling of PhaseCap: RunPhases polls it before every phase and the
+	// engine polls it between simulated rounds, so a canceled run — even a
+	// 10⁷-node one — stops within O(one round) and returns ErrCanceled with
+	// the partial Result (phases executed so far, partial Metrics). The hook
+	// must be cheap and safe to call from the Runner's goroutine; nil (the
+	// default) disables polling. Cancellation never corrupts the kernel:
+	// Start fully rewinds every flat array and the engine, so the next run
+	// on the same warm Runner is byte-identical to a fresh kernel's.
+	Cancel func() bool
 }
 
 // Result reports the outcome of a trial run.
@@ -174,11 +184,21 @@ type Result struct {
 	// BudgetExhausted is set when a run-to-completion (MaxPhases == 0) run
 	// hit its PhaseCap backstop; Run additionally returns ErrPhaseBudget.
 	BudgetExhausted bool
+	// Canceled is set when the run was stopped by Config.Cancel (or a
+	// runner-level SetCancel hook); Run additionally returns ErrCanceled.
+	Canceled bool
 }
 
 // ErrPhaseBudget is returned (wrapped) when a run-to-completion trial run
 // exhausts its phase backstop; the partial Result is still returned.
 var ErrPhaseBudget = errors.New("trial: phase budget exhausted before the coloring completed")
+
+// ErrCanceled is returned (wrapped) when a run is stopped by its cooperative
+// cancellation hook (Config.Cancel or Runner.SetCancel); the partial Result —
+// phases executed, partial Metrics — is still returned. Mirrors the
+// ErrPhaseBudget contract: the kernel stays fully reusable, and the next
+// Start rewinds it to a state byte-identical to a fresh kernel.
+var ErrCanceled = errors.New("trial: run canceled")
 
 // defaultPhaseCap returns the backstop for run-to-completion runs:
 // 64·⌈log₂ n⌉ + 128, matching the O(log n) w.h.p. completion bound with a
@@ -301,6 +321,13 @@ type Runner struct {
 	// final value is deterministic (decrements commute).
 	live   atomic.Int64
 	phases int
+
+	// cancelHook is the runner-level cancellation hook (SetCancel), OR-ed
+	// with each run's Config.Cancel; cancelFn is the bound method value
+	// installed on the engine, allocated once at construction so Start stays
+	// allocation-free.
+	cancelHook func() bool
+	cancelFn   func() bool
 }
 
 // nodeProc adapts one node of the Runner to the congest.Process interface.
@@ -347,7 +374,25 @@ func NewRunner(g *graph.Graph, parallel bool, workers int) *Runner {
 		r.procs[v] = nodeProc{r: r, v: graph.NodeID(v)}
 		r.net.SetProcess(graph.NodeID(v), &r.procs[v])
 	}
+	r.cancelFn = r.canceled
 	return r
+}
+
+// SetCancel installs a runner-level cooperative cancellation hook that
+// applies to every subsequent run (OR-ed with each run's Config.Cancel),
+// taking effect at the next Start. The serving plane uses it to point a
+// long-lived warm kernel at "the current request's cancel flag" once,
+// instead of threading a Cancel through every algorithm's Config. nil
+// removes the hook.
+func (r *Runner) SetCancel(f func() bool) { r.cancelHook = f }
+
+// canceled reports whether the current run's cancellation hook (per-run
+// Config.Cancel or runner-level SetCancel) has fired.
+func (r *Runner) canceled() bool {
+	if r.cfg.Cancel != nil && r.cfg.Cancel() {
+		return true
+	}
+	return r.cancelHook != nil && r.cancelHook()
 }
 
 // Close releases the kernel's network (parking the sharded engine's
@@ -388,6 +433,12 @@ func (r *Runner) Start(cfg Config) error {
 	r.net.Reset(cfg.Seed)
 	r.net.SetActive(cfg.Active)
 	r.net.SetFaults(cfg.Faults)
+	if cfg.Cancel != nil || r.cancelHook != nil {
+		// Reset cleared the engine-level hook; reinstall the bound method
+		// value so rounds poll cancellation. Left nil when no hook is set —
+		// the uncancellable hot path keeps its single nil check per round.
+		r.net.SetCancel(r.cancelFn)
+	}
 
 	n := r.g.NumNodes()
 	r.knownWords = bitset.WordsFor(cfg.PaletteSize)
@@ -537,7 +588,19 @@ func (r *Runner) RunPhases() error {
 		}
 	}
 	for r.phases < maxPhases && !r.Complete() {
+		// Poll cancellation once per phase; the engine additionally polls it
+		// between the phase's three rounds, so a cancel that fires mid-phase
+		// stops the simulation within one round and is surfaced here on the
+		// next iteration. Only the error path below allocates.
+		if r.canceled() {
+			return fmt.Errorf("%w (%d phases, %d nodes uncolored)",
+				ErrCanceled, r.phases, r.live.Load())
+		}
 		r.Phase()
+	}
+	if r.canceled() && !r.Complete() {
+		return fmt.Errorf("%w (%d phases, %d nodes uncolored)",
+			ErrCanceled, r.phases, r.live.Load())
 	}
 	// Budget exhaustion is judged against the run's frontier (live active
 	// uncolored nodes), not completeness of the full coloring: under a
@@ -604,7 +667,11 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 		res = r.Finish()
 	}
 	if budgetErr != nil {
-		res.BudgetExhausted = true
+		if errors.Is(budgetErr, ErrCanceled) {
+			res.Canceled = true
+		} else {
+			res.BudgetExhausted = true
+		}
 		return res, budgetErr
 	}
 	return res, nil

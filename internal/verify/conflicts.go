@@ -58,7 +58,15 @@ func appendConflictNodes[C colorView](ch *Checker, g *graph.Graph, c C, dst []gr
 	ch.nodeSeen.Grow(n)
 	ch.nodeSeen.Reset()
 	start := len(dst)
+	cancel := ch.cancel
 	for w := 0; w < n; w++ {
+		// Same cooperative cancel poll as the Report scans. The slice has no
+		// Canceled flag, so an aborted scan simply returns the conflicts found
+		// so far — callers that install a hook re-check it themselves before
+		// acting on the (possibly partial) dirty set.
+		if cancel != nil && w%cancelStride == 0 && cancel() {
+			break
+		}
 		ch.seen.Reset()
 		ch.resetSlow()
 		nbrs := g.Neighbors(graph.NodeID(w))

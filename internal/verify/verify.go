@@ -31,12 +31,17 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s: u=%d v=%d %s", v.Kind, v.U, v.V, v.Info)
 }
 
-// Report is the outcome of a verification pass.
+// Report is the outcome of a verification pass. When Canceled is set the
+// pass was stopped early by the Checker's cooperative cancellation hook
+// (SetCancel): Valid is false, and the other fields cover only the prefix
+// scanned before the cancel fired — the report must not be treated as a
+// verdict on the coloring.
 type Report struct {
 	Valid      bool
 	Violations []Violation
 	ColorsUsed int
 	MaxColor   int
+	Canceled   bool
 }
 
 // Error returns nil if the report is valid, otherwise an error summarizing
@@ -95,7 +100,24 @@ type Checker struct {
 	// Lazily allocated on the first conflict-set call, so count-only Checkers
 	// never pay for it.
 	nodeSeen *bitset.Stamped
+	// cancel is the optional cooperative cancellation hook (SetCancel),
+	// polled every cancelStride nodes by the O(n+m) conflict scan. nil (the
+	// default, and always the case for pool-drawn Checkers) disables polling.
+	cancel func() bool
 }
+
+// cancelStride is how many nodes the conflict scan processes between polls
+// of the cancellation hook: frequent enough that a canceled 10⁷-node pass
+// stops in well under a millisecond, rare enough to be free on the hot path.
+const cancelStride = 2048
+
+// SetCancel installs a cooperative cancellation hook on this Checker: the
+// conflict scans poll it periodically and, once it returns true, return a
+// Report with Canceled set instead of finishing the pass. nil removes the
+// hook. The package-level Check functions use pooled Checkers without hooks;
+// only owners of long-lived Checkers (the serving plane's sessions) install
+// one.
+func (ch *Checker) SetCancel(f func() bool) { ch.cancel = f }
 
 // slowColor marks, in the int32 scratch, a color outside [0, limit); the
 // actual value is read back from the original coloring on this (corrupt,
@@ -291,8 +313,13 @@ func (ch *Checker) slowSeen(cx int, x graph.NodeID) (graph.NodeID, bool) {
 // scan reads the cache-dense int32 scratch instead of the []int original.
 func checkConflicts[C colorView](ch *Checker, g *graph.Graph, c C, limit int, dist2 bool, rep *Report) {
 	colors := ch.colors
+	cancel := ch.cancel
 	if !dist2 {
 		for u := 0; u < g.NumNodes(); u++ {
+			if cancel != nil && u%cancelStride == 0 && cancel() {
+				rep.Canceled, rep.Valid = true, false
+				return
+			}
 			cu := colors[u]
 			if cu == -1 {
 				continue
@@ -315,6 +342,10 @@ func checkConflicts[C colorView](ch *Checker, g *graph.Graph, c C, limit int, di
 	// its neighbors in CSR order — the walk order that defines which holder
 	// a violation names.
 	for w := 0; w < g.NumNodes(); w++ {
+		if cancel != nil && w%cancelStride == 0 && cancel() {
+			rep.Canceled, rep.Valid = true, false
+			return
+		}
 		ch.seen.Reset()
 		ch.resetSlow()
 		nbrs := g.Neighbors(graph.NodeID(w))
